@@ -1,0 +1,223 @@
+// Command femtosim runs one femtocell-CR video-streaming simulation and
+// prints the per-user and average video quality, collision rate, and
+// optional diagnostics.
+//
+// Examples:
+//
+//	femtosim -scenario single -scheme proposed -runs 10 -gops 20
+//	femtosim -scenario interfering -scheme h2 -eta 0.5
+//	femtosim -scenario single -dualtrace
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"femtocr/internal/netmodel"
+	"femtocr/internal/packetsim"
+	"femtocr/internal/sim"
+	"femtocr/internal/stats"
+	"femtocr/internal/trace"
+	"femtocr/internal/video"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "femtosim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("femtosim", flag.ContinueOnError)
+	fs.SetOutput(out)
+	var (
+		scenario  = fs.String("scenario", "single", "scenario: single | interfering | noninterfering")
+		scheme    = fs.String("scheme", "proposed", "scheme: proposed | h1 | h2 | rr | maxtp")
+		seed      = fs.Uint64("seed", 1, "base random seed")
+		runs      = fs.Int("runs", 1, "independent replications")
+		gops      = fs.Int("gops", 20, "GOPs per run")
+		m         = fs.Int("m", 8, "licensed channels M")
+		b0        = fs.Float64("b0", 0.3, "common-channel capacity, Mbps")
+		b1        = fs.Float64("b1", 0.3, "licensed-channel capacity, Mbps")
+		eta       = fs.Float64("eta", -1, "channel utilization (default: P01/(P01+P10) from the paper)")
+		gamma     = fs.Float64("gamma", 0.2, "collision threshold")
+		eps       = fs.Float64("eps", 0.3, "sensing false-alarm probability")
+		delta     = fs.Float64("delta", 0.3, "sensing miss-detection probability")
+		bound     = fs.Bool("bound", false, "track the eq. (23) upper bound (interfering + proposed)")
+		dualTrace = fs.Bool("dualtrace", false, "print the dual-variable convergence trace of the first slot")
+		dualIters = fs.Int("dualiters", 600, "dual iterations for -dualtrace")
+		packets   = fs.Bool("packets", false, "run the packet-level engine (NAL queues, ARQ, deadlines)")
+		beliefs   = fs.Bool("beliefs", false, "use the Bayesian occupancy filter as the fusion prior")
+		estimate  = fs.Bool("estimate", false, "learn channel utilizations online instead of assuming them known")
+		subcar    = fs.Int("ofdm", 0, "OFDM subcarriers per channel (0: flat Rayleigh links)")
+		showTrace = fs.Bool("trace", false, "print a slot-trace summary of the first run")
+		asJSON    = fs.Bool("json", false, "emit the last run's result as JSON (for scripting)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	cfg := netmodel.DefaultConfig()
+	cfg.M = *m
+	cfg.B0 = *b0
+	cfg.B1 = *b1
+	cfg.Gamma = *gamma
+	cfg.Eps = *eps
+	cfg.Delta = *delta
+	cfg.OFDMSubcarriers = *subcar
+	if *eta >= 0 {
+		var err error
+		cfg, err = cfg.WithUtilization(*eta)
+		if err != nil {
+			return err
+		}
+	}
+
+	var (
+		net *netmodel.Network
+		err error
+	)
+	switch *scenario {
+	case "single":
+		net, err = netmodel.PaperSingleFBS(cfg)
+	case "interfering":
+		net, err = netmodel.PaperInterfering(cfg)
+	case "noninterfering":
+		trio := video.PaperTrio()
+		net, err = netmodel.NonInterfering(cfg, [][]video.Sequence{trio[:], trio[:]})
+	default:
+		return fmt.Errorf("unknown scenario %q", *scenario)
+	}
+	if err != nil {
+		return err
+	}
+
+	var sch sim.Scheme
+	switch *scheme {
+	case "proposed":
+		sch = sim.Proposed
+	case "h1":
+		sch = sim.Heuristic1
+	case "h2":
+		sch = sim.Heuristic2
+	case "rr":
+		sch = sim.RoundRobin
+	case "maxtp":
+		sch = sim.MaxThroughput
+	default:
+		return fmt.Errorf("unknown scheme %q", *scheme)
+	}
+
+	fmt.Fprintf(out, "scenario=%s scheme=%s M=%d eta=%.3f gamma=%.2f eps=%.2f delta=%.2f B0=%.2f B1=%.2f\n",
+		*scenario, sch, cfg.M, cfg.Utilization(), cfg.Gamma, cfg.Eps, cfg.Delta, cfg.B0, cfg.B1)
+
+	if *packets {
+		return runPackets(out, net, sch, *seed, *runs, *gops)
+	}
+
+	var meanAcc, boundAcc, collAcc, fairAcc, minAcc stats.Running
+	perUser := make([][]float64, net.K())
+	var lastResult *sim.Result
+	for r := 0; r < *runs; r++ {
+		var rec *trace.Recorder
+		if *showTrace && r == 0 {
+			rec = &trace.Recorder{}
+		}
+		res, err := sim.Run(net, sim.Options{
+			Seed:                *seed + uint64(r),
+			GOPs:                *gops,
+			Scheme:              sch,
+			TrackBound:          *bound,
+			CaptureDualTrace:    *dualTrace && r == 0,
+			DualIterations:      *dualIters,
+			TrackBeliefs:        *beliefs,
+			EstimateUtilization: *estimate,
+			Recorder:            rec,
+		})
+		if err != nil {
+			return err
+		}
+		lastResult = res
+		meanAcc.Add(res.MeanPSNR)
+		collAcc.Add(res.CollisionRate)
+		fairAcc.Add(res.FairnessIndex)
+		minAcc.Add(res.MinUserPSNR)
+		if *bound {
+			boundAcc.Add(res.BoundPSNR)
+		}
+		for j, v := range res.PerUserPSNR {
+			perUser[j] = append(perUser[j], v)
+		}
+		if rec != nil {
+			fmt.Fprintln(out, "\nslot-trace summary (run 1):")
+			fmt.Fprint(out, rec.Summarize().String())
+			fmt.Fprintln(out)
+		}
+		if *dualTrace && r == 0 && res.DualTrace != nil {
+			fmt.Fprintln(out, "\ndual-variable trace (iteration lambda_0 lambda_1 ...):")
+			for i, row := range res.DualTrace {
+				if i%25 != 0 && i != len(res.DualTrace)-1 {
+					continue
+				}
+				fmt.Fprintf(out, "%5d", i)
+				for _, l := range row {
+					fmt.Fprintf(out, "  %.6g", l)
+				}
+				fmt.Fprintln(out)
+			}
+			fmt.Fprintln(out)
+		}
+	}
+
+	for j := range perUser {
+		s, err := stats.Summarize(perUser[j])
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "user %d (%s): %.2f dB ±%.2f\n", j+1, net.Users[j].Seq.Name, s.Mean, s.HalfWidth)
+	}
+	fmt.Fprintf(out, "mean Y-PSNR: %.2f dB (stddev %.2f over %d runs)\n", meanAcc.Mean(), meanAcc.StdDev(), *runs)
+	if *bound {
+		fmt.Fprintf(out, "eq.(23) upper bound: %.2f dB\n", boundAcc.Mean())
+	}
+	fmt.Fprintf(out, "worst user: %.2f dB | fairness (Jain on gains): %.3f\n", minAcc.Mean(), fairAcc.Mean())
+	fmt.Fprintf(out, "max collision rate: %.3f (gamma = %.2f)\n", collAcc.Mean(), cfg.Gamma)
+	if *asJSON && lastResult != nil {
+		lastResult.DualTrace = nil // keep the JSON compact
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(lastResult); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// runPackets drives the packet-level engine and prints its statistics.
+func runPackets(out io.Writer, net *netmodel.Network, sch sim.Scheme, seed uint64, runs, gops int) error {
+	var meanAcc stats.Running
+	var sent, retrans, dropped, bytes int
+	for r := 0; r < runs; r++ {
+		res, err := packetsim.Run(net, packetsim.Options{
+			Seed:   seed + uint64(r),
+			GOPs:   gops,
+			Scheme: sch,
+		})
+		if err != nil {
+			return err
+		}
+		meanAcc.Add(res.MeanPSNR)
+		sent += res.SentPackets
+		retrans += res.Retransmissions
+		dropped += res.DroppedPackets
+		bytes += res.DeliveredBytes
+	}
+	fmt.Fprintf(out, "packet-level mean Y-PSNR: %.2f dB over %d runs\n", meanAcc.Mean(), runs)
+	fmt.Fprintf(out, "fragments sent %d, retransmissions %d, overdue drops %d, delivered %d bytes\n",
+		sent, retrans, dropped, bytes)
+	return nil
+}

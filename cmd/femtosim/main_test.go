@@ -1,0 +1,104 @@
+package main
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestRunSingle(t *testing.T) {
+	var b strings.Builder
+	err := run([]string{"-scenario", "single", "-runs", "2", "-gops", "2"}, &b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"user 1 (Bus)", "user 2 (Mobile)", "user 3 (Harbor)", "mean Y-PSNR", "collision rate"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunSchemes(t *testing.T) {
+	for _, sch := range []string{"proposed", "h1", "h2"} {
+		var b strings.Builder
+		if err := run([]string{"-scheme", sch, "-gops", "2"}, &b); err != nil {
+			t.Fatalf("scheme %s: %v", sch, err)
+		}
+	}
+}
+
+func TestRunInterferingWithBound(t *testing.T) {
+	var b strings.Builder
+	err := run([]string{"-scenario", "interfering", "-gops", "1", "-bound"}, &b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "eq.(23) upper bound") {
+		t.Fatalf("missing bound line:\n%s", b.String())
+	}
+}
+
+func TestRunNonInterfering(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-scenario", "noninterfering", "-gops", "1"}, &b); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunDualTrace(t *testing.T) {
+	var b strings.Builder
+	err := run([]string{"-dualtrace", "-gops", "1", "-dualiters", "120"}, &b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "dual-variable trace") {
+		t.Fatalf("missing trace:\n%s", b.String())
+	}
+}
+
+func TestRunEtaOverride(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-eta", "0.4", "-gops", "1"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "eta=0.400") {
+		t.Fatalf("eta not applied:\n%s", b.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cases := [][]string{
+		{"-scenario", "nope"},
+		{"-scheme", "nope"},
+		{"-eta", "0.99"}, // infeasible with P10=0.3
+	}
+	for _, args := range cases {
+		var b strings.Builder
+		if err := run(args, &b); err == nil {
+			t.Fatalf("args %v accepted", args)
+		}
+	}
+}
+
+func TestRunJSONOutput(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-gops", "1", "-json"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	start := strings.Index(out, "{")
+	if start < 0 {
+		t.Fatalf("no JSON in output:\n%s", out)
+	}
+	var res map[string]any
+	if err := json.Unmarshal([]byte(out[start:]), &res); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	for _, key := range []string{"MeanPSNR", "PerUserPSNR", "CollisionRate", "FairnessIndex"} {
+		if _, ok := res[key]; !ok {
+			t.Fatalf("JSON missing %q", key)
+		}
+	}
+}

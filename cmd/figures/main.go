@@ -1,0 +1,167 @@
+// Command figures regenerates the paper's evaluation figures and writes
+// each as a text table and a CSV file.
+//
+// Examples:
+//
+//	figures -fig all -out results            # full paper scale (slow)
+//	figures -fig 6a -quick -out results      # one figure at smoke scale
+//	figures -fig 3                           # print to stdout only
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"femtocr/internal/experiments"
+	"femtocr/internal/stats"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "figures:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("figures", flag.ContinueOnError)
+	fs.SetOutput(out)
+	var (
+		fig   = fs.String("fig", "all", "figure id: all (paper figures) | everything (figures + ablations + extensions) | 3 | 4a | 4b | 4c | 6a | 6b | 6c | ablation-belief | ablation-sensor | gamma | engines | deadline | capacity | frontier | topology")
+		runs  = fs.Int("runs", 10, "independent replications per point")
+		gops  = fs.Int("gops", 20, "GOPs per run")
+		seed  = fs.Uint64("seed", 1000, "base seed")
+		quick = fs.Bool("quick", false, "smoke scale (2 runs x 3 GOPs)")
+		dir   = fs.String("out", "", "directory for .txt/.csv output (empty: stdout only)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	p := experiments.Params{Runs: *runs, GOPs: *gops, BaseSeed: *seed}
+	if *quick {
+		p = experiments.QuickParams()
+	}
+
+	var figures []experiments.Named
+	switch strings.ToLower(*fig) {
+	case "topology":
+		// Solver-level study (no figure object): render the table directly.
+		pts, err := experiments.TopologyStudy(*seed, *runs*2, 3)
+		if err != nil {
+			return err
+		}
+		var b strings.Builder
+		b.WriteString("Theorem 2 / eq. (23) across interference-graph families\n")
+		for _, pt := range pts {
+			b.WriteString(pt.String())
+			b.WriteByte('\n')
+		}
+		fmt.Fprintln(out, b.String())
+		if *dir != "" {
+			if err := os.MkdirAll(*dir, 0o755); err != nil {
+				return err
+			}
+			if err := os.WriteFile(filepath.Join(*dir, "topology.txt"), []byte(b.String()), 0o644); err != nil {
+				return err
+			}
+		}
+		return nil
+	case "all":
+		all, err := experiments.All(p)
+		if err != nil {
+			return err
+		}
+		figures = all
+	case "everything":
+		all, err := experiments.All(p)
+		if err != nil {
+			return err
+		}
+		figures = all
+		extras := []struct {
+			id  string
+			run func(experiments.Params) (*stats.Figure, error)
+		}{
+			{"ablation-belief", experiments.AblationBelief},
+			{"ablation-sensor", experiments.AblationSensorPolicy},
+			{"gamma", experiments.GammaTradeoff},
+			{"engines", experiments.EngineComparison},
+			{"deadline", experiments.DeadlineSweep},
+			{"capacity", func(p experiments.Params) (*stats.Figure, error) {
+				return experiments.UserCapacity(p, nil)
+			}},
+		}
+		for _, e := range extras {
+			f, err := e.run(p)
+			if err != nil {
+				return fmt.Errorf("%s: %w", e.id, err)
+			}
+			figures = append(figures, experiments.Named{ID: e.id, Figure: f})
+		}
+	case "3":
+		f, err := experiments.Fig3(p)
+		if err != nil {
+			return err
+		}
+		figures = append(figures, experiments.Named{ID: "fig3", Figure: f})
+	case "4a":
+		f, _, err := experiments.Fig4a(p, 600, 25)
+		if err != nil {
+			return err
+		}
+		figures = append(figures, experiments.Named{ID: "fig4a", Figure: f})
+	case "4b", "4c", "6a", "6b", "6c", "ablation-belief", "ablation-sensor", "gamma", "engines", "deadline", "capacity", "frontier":
+		runners := map[string]func(experiments.Params) (*stats.Figure, error){
+			"4b":              experiments.Fig4b,
+			"4c":              experiments.Fig4c,
+			"6a":              experiments.Fig6a,
+			"6b":              experiments.Fig6b,
+			"6c":              experiments.Fig6c,
+			"ablation-belief": experiments.AblationBelief,
+			"ablation-sensor": experiments.AblationSensorPolicy,
+			"gamma":           experiments.GammaTradeoff,
+			"engines":         experiments.EngineComparison,
+			"deadline":        experiments.DeadlineSweep,
+			"capacity": func(p experiments.Params) (*stats.Figure, error) {
+				return experiments.UserCapacity(p, nil)
+			},
+			"frontier": experiments.SchemeFrontier,
+		}
+		id := strings.ToLower(*fig)
+		f, err := runners[id](p)
+		if err != nil {
+			return err
+		}
+		prefix := "fig"
+		if strings.Contains(id, "-") || id == "gamma" || id == "engines" || id == "deadline" || id == "capacity" || id == "frontier" {
+			prefix = ""
+		}
+		figures = append(figures, experiments.Named{ID: prefix + id, Figure: f})
+	default:
+		return fmt.Errorf("unknown figure %q", *fig)
+	}
+
+	for _, nf := range figures {
+		fmt.Fprintln(out, nf.Figure.Render())
+		if *dir != "" {
+			if err := os.MkdirAll(*dir, 0o755); err != nil {
+				return err
+			}
+			txt := filepath.Join(*dir, nf.ID+".txt")
+			if err := os.WriteFile(txt, []byte(nf.Figure.Render()), 0o644); err != nil {
+				return err
+			}
+			csv := filepath.Join(*dir, nf.ID+".csv")
+			if err := os.WriteFile(csv, []byte(nf.Figure.CSV()), 0o644); err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "wrote %s and %s\n\n", txt, csv)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,99 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunSingleFigureToStdout(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-fig", "3", "-quick"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "Fig. 3") {
+		t.Fatalf("missing figure title:\n%s", b.String())
+	}
+}
+
+func TestRunFigureWritesFiles(t *testing.T) {
+	dir := t.TempDir()
+	var b strings.Builder
+	if err := run([]string{"-fig", "4b", "-quick", "-out", dir}, &b); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"fig4b.txt", "fig4b.csv"} {
+		data, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(data) == 0 {
+			t.Fatalf("%s empty", name)
+		}
+	}
+	csv, _ := os.ReadFile(filepath.Join(dir, "fig4b.csv"))
+	if !strings.Contains(string(csv), "Proposed_mean") {
+		t.Fatalf("csv missing header:\n%s", csv)
+	}
+}
+
+func TestRunFig4a(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-fig", "4a", "-quick"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "lambda_0") {
+		t.Fatalf("missing dual curves:\n%s", b.String())
+	}
+}
+
+func TestRunUnknownFigure(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-fig", "99"}, &b); err == nil {
+		t.Fatal("unknown figure accepted")
+	}
+}
+
+func TestRunTopologyTable(t *testing.T) {
+	dir := t.TempDir()
+	var b strings.Builder
+	if err := run([]string{"-fig", "topology", "-runs", "2", "-out", dir}, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"Theorem 2", "path (Fig. 5)", "Dmax=2"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q:\n%s", want, out)
+		}
+	}
+	if _, err := os.ReadFile(filepath.Join(dir, "topology.txt")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunEnginesFigure(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-fig", "engines", "-quick"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "Packet-level engine") {
+		t.Fatalf("missing engines curve:\n%s", b.String())
+	}
+}
+
+func TestRunEverythingQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	dir := t.TempDir()
+	var b strings.Builder
+	if err := run([]string{"-fig", "everything", "-quick", "-out", dir}, &b); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"fig3.txt", "gamma.txt", "capacity.txt", "engines.txt"} {
+		if _, err := os.Stat(filepath.Join(dir, want)); err != nil {
+			t.Fatalf("%s missing: %v", want, err)
+		}
+	}
+}

@@ -1,0 +1,58 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunListPresets(t *testing.T) {
+	var b strings.Builder
+	if err := run(nil, &b); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Bus", "Mobile", "Harbor", "alpha", "ceiling"} {
+		if !strings.Contains(b.String(), want) {
+			t.Fatalf("missing %q:\n%s", want, b.String())
+		}
+	}
+}
+
+func TestRunGOPLayout(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-seq", "Bus", "-rate", "0.5"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"Bus GOP", "transmission order", "decodable quality", "100% of units"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q:\n%s", want, out)
+		}
+	}
+	// The first unit must be the frame-0 base layer.
+	if !strings.Contains(out, "#1   frame  0 (I) layer 0") {
+		t.Fatalf("first unit is not the I-frame base layer:\n%s", out)
+	}
+}
+
+func TestRunRDTable(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-seq", "Harbor", "-rd"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "rate-distortion") {
+		t.Fatalf("missing table:\n%s", b.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-seq", "nosuch"}, &b); err == nil {
+		t.Fatal("unknown sequence accepted")
+	}
+	if err := run([]string{"-seq", "Bus", "-rate", "0"}, &b); err == nil {
+		t.Fatal("zero rate accepted")
+	}
+	if err := run([]string{"-seq", "Bus", "-gop", "0"}, &b); err == nil {
+		t.Fatal("zero gop accepted")
+	}
+}

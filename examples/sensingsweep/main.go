@@ -1,0 +1,66 @@
+// Sensing-error sweep: the Fig. 6(b) experiment in miniature, plus a
+// demonstration of the Bayesian fusion pipeline of eqs. (2)-(4). The sweep
+// shows why video quality is only mildly sensitive to sensing errors: both
+// error types are modeled inside the access rule, so the allocator hedges
+// automatically.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"femtocr"
+	"femtocr/internal/markov"
+	"femtocr/internal/rng"
+	"femtocr/internal/sensing"
+)
+
+func main() {
+	// Part 1: fusion mechanics. Watch the availability posterior move as
+	// noisy sensing results arrive on a channel with utilization 0.571.
+	fmt.Println("=== Bayesian fusion of sensing results (eqs. 2-4) ===")
+	det, err := sensing.NewDetector(0.3, 0.3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fuser, err := sensing.NewFuser(0.571)
+	if err != nil {
+		log.Fatal(err)
+	}
+	stream := rng.New(7)
+	fmt.Printf("prior availability: %.3f\n", fuser.Posterior())
+	for i := 1; i <= 6; i++ {
+		obs := det.Sense(markov.Idle, stream) // channel is truly idle
+		fuser.Update(obs)
+		report := "idle"
+		if obs.Busy {
+			report = "busy"
+		}
+		fmt.Printf("observation %d reports %-4s -> posterior %.3f\n", i, report, fuser.Posterior())
+	}
+
+	// Part 2: end-to-end quality across the paper's five sensing-error
+	// operating points {epsilon, delta}.
+	fmt.Println("\n=== video quality vs sensing error (Fig. 6(b) shape) ===")
+	pairs := [][2]float64{{0.2, 0.48}, {0.24, 0.38}, {0.3, 0.3}, {0.38, 0.24}, {0.48, 0.2}}
+	for _, pair := range pairs {
+		cfg := femtocr.DefaultConfig()
+		cfg.Eps, cfg.Delta = pair[0], pair[1]
+		net, err := femtocr.SingleFBSNetwork(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sum := 0.0
+		const runs = 3
+		for r := 0; r < runs; r++ {
+			res, err := femtocr.Simulate(net, femtocr.SimOptions{Seed: 300 + uint64(r), GOPs: 10})
+			if err != nil {
+				log.Fatal(err)
+			}
+			sum += res.MeanPSNR
+		}
+		fmt.Printf("eps=%.2f delta=%.2f -> %.2f dB\n", pair[0], pair[1], sum/runs)
+	}
+	fmt.Println("\nthe flat profile is the paper's point: both error types are")
+	fmt.Println("modeled in the optimization, so quality degrades gracefully.")
+}

@@ -1,0 +1,81 @@
+package femtocr
+
+import (
+	"math"
+	"testing"
+)
+
+func TestFacadePacketSimulation(t *testing.T) {
+	net, err := SingleFBSNetwork(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := SimulatePackets(net, PacketOptions{Seed: 1, GOPs: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MeanPSNR < 25 || res.MeanPSNR > 45 {
+		t.Fatalf("packet-level PSNR %v implausible", res.MeanPSNR)
+	}
+	if res.DeliveredBytes == 0 {
+		t.Fatal("nothing delivered")
+	}
+}
+
+// TestEnginesAgree: the rate-based and packet-level engines are two views
+// of the same system and must agree within a couple of dB.
+func TestEnginesAgree(t *testing.T) {
+	net, err := SingleFBSNetwork(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rate, pkt float64
+	const runs = 4
+	for seed := uint64(1); seed <= runs; seed++ {
+		a, err := Simulate(net, SimOptions{Seed: seed, GOPs: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := SimulatePackets(net, PacketOptions{Seed: seed, GOPs: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rate += a.MeanPSNR
+		pkt += b.MeanPSNR
+	}
+	if gap := math.Abs(rate-pkt) / runs; gap > 2.5 {
+		t.Fatalf("engines diverge: rate-based %v vs packet %v", rate/runs, pkt/runs)
+	}
+}
+
+func TestFacadeAblations(t *testing.T) {
+	p := QuickScale()
+	p.GOPs = 2
+	fig, err := AblationSensorPolicy(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Curves) == 0 {
+		t.Fatal("empty ablation figure")
+	}
+	cmp, err := AblationSolver(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp.String() == "" {
+		t.Fatal("empty comparison")
+	}
+}
+
+func TestFacadeScalability(t *testing.T) {
+	p := QuickScale()
+	p.GOPs = 1
+	p.Runs = 1
+	pts, err := Scalability(p, []int{2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 1 || pts[0].Users != 6 {
+		t.Fatalf("points = %+v", pts)
+	}
+}

@@ -1,0 +1,138 @@
+// Package femtocr is a Go implementation of "Resource Allocation for Medium
+// Grain Scalable Videos over Femtocell Cognitive Radio Networks" (Hu & Mao,
+// ICDCS 2011).
+//
+// It provides the paper's full stack: two-state Markov channel occupancy,
+// spectrum sensing with false alarms and miss detections, Bayesian fusion of
+// sensing results, collision-bounded opportunistic access, block-fading
+// links, an MGS video quality model, the optimum-achieving distributed
+// resource allocation of Tables I/II, the greedy channel allocation of
+// Table III with its Theorem 2 and eq. (23) bounds, the two heuristic
+// baselines, and a slot-level simulator plus experiment drivers that
+// regenerate every figure of the paper's evaluation.
+//
+// Quick start:
+//
+//	net, err := femtocr.SingleFBSNetwork(femtocr.DefaultConfig())
+//	if err != nil { ... }
+//	res, err := femtocr.Simulate(net, femtocr.SimOptions{Seed: 1, GOPs: 20})
+//	fmt.Println(res.MeanPSNR)
+//
+// The deeper building blocks (solvers, sensing fusion, fading models) live
+// in the internal packages and are exercised through this facade and the
+// binaries under cmd/.
+package femtocr
+
+import (
+	"femtocr/internal/experiments"
+	"femtocr/internal/netmodel"
+	"femtocr/internal/sim"
+	"femtocr/internal/stats"
+	"femtocr/internal/video"
+)
+
+// Config is a scenario configuration (channel counts, Markov occupancy,
+// sensing errors, radio calibration). See DefaultConfig for the paper's §V
+// values.
+type Config = netmodel.Config
+
+// Network is a fully built femtocell CR network.
+type Network = netmodel.Network
+
+// SimOptions configures one simulation run.
+type SimOptions = sim.Options
+
+// SimResult is the outcome of one run.
+type SimResult = sim.Result
+
+// Scheme selects a resource-allocation scheme.
+type Scheme = sim.Scheme
+
+// The three schemes of the paper's evaluation, plus the blind TDMA
+// baseline added as an extension anchor.
+const (
+	Proposed   = sim.Proposed
+	Heuristic1 = sim.Heuristic1
+	Heuristic2 = sim.Heuristic2
+	RoundRobin = sim.RoundRobin
+	// MaxThroughput maximizes the quality sum with no fairness concern.
+	MaxThroughput = sim.MaxThroughput
+)
+
+// ExperimentParams scales an experiment (runs, GOPs, seed).
+type ExperimentParams = experiments.Params
+
+// Figure is a rendered experiment result: one curve per scheme with 95%
+// confidence intervals, with text-table and CSV output.
+type Figure = stats.Figure
+
+// Sequence is an MGS video description with its rate-quality model.
+type Sequence = video.Sequence
+
+// DefaultConfig returns the paper's §V parameters.
+func DefaultConfig() Config { return netmodel.DefaultConfig() }
+
+// Sequences returns the built-in CIF sequence presets (Bus, Mobile, Harbor,
+// Foreman, Crew, City).
+func Sequences() []Sequence { return video.StandardSequences() }
+
+// SequenceByName looks up a preset video sequence.
+func SequenceByName(name string) (Sequence, error) { return video.SequenceByName(name) }
+
+// SingleFBSNetwork builds the paper's single-FBS scenario streaming Bus,
+// Mobile and Harbor to three users.
+func SingleFBSNetwork(cfg Config) (*Network, error) { return netmodel.PaperSingleFBS(cfg) }
+
+// CustomSingleFBSNetwork builds a single-FBS scenario with one user per
+// provided video sequence.
+func CustomSingleFBSNetwork(cfg Config, videos []Sequence) (*Network, error) {
+	return netmodel.SingleFBS(cfg, videos)
+}
+
+// InterferingNetwork builds the paper's §V-B scenario: three FBSs on the
+// Fig. 5 path graph, three users each.
+func InterferingNetwork(cfg Config) (*Network, error) { return netmodel.PaperInterfering(cfg) }
+
+// NonInterferingNetwork builds N femtocells with disjoint coverage, one
+// group of users per femtocell.
+func NonInterferingNetwork(cfg Config, videosPerFBS [][]Sequence) (*Network, error) {
+	return netmodel.NonInterfering(cfg, videosPerFBS)
+}
+
+// Simulate runs one simulation.
+func Simulate(net *Network, opts SimOptions) (*SimResult, error) { return sim.Run(net, opts) }
+
+// PaperScale returns the paper's experiment scale (10 runs, 20 GOPs).
+func PaperScale() ExperimentParams { return experiments.PaperParams() }
+
+// QuickScale returns a reduced experiment scale for smoke runs.
+func QuickScale() ExperimentParams { return experiments.QuickParams() }
+
+// Figure3 regenerates Fig. 3 (single FBS, per-user quality).
+func Figure3(p ExperimentParams) (*Figure, error) { return experiments.Fig3(p) }
+
+// Figure4a regenerates Fig. 4(a) (dual-variable convergence); it returns
+// the figure and the raw iteration trace.
+func Figure4a(p ExperimentParams, iterations, stride int) (*Figure, [][]float64, error) {
+	return experiments.Fig4a(p, iterations, stride)
+}
+
+// Figure4b regenerates Fig. 4(b) (quality vs number of channels).
+func Figure4b(p ExperimentParams) (*Figure, error) { return experiments.Fig4b(p) }
+
+// Figure4c regenerates Fig. 4(c) (quality vs channel utilization).
+func Figure4c(p ExperimentParams) (*Figure, error) { return experiments.Fig4c(p) }
+
+// Figure6a regenerates Fig. 6(a) (interfering FBSs, quality vs utilization,
+// with the eq. (23) upper bound).
+func Figure6a(p ExperimentParams) (*Figure, error) { return experiments.Fig6a(p) }
+
+// Figure6b regenerates Fig. 6(b) (quality vs sensing-error operating
+// points).
+func Figure6b(p ExperimentParams) (*Figure, error) { return experiments.Fig6b(p) }
+
+// Figure6c regenerates Fig. 6(c) (quality vs common-channel bandwidth).
+func Figure6c(p ExperimentParams) (*Figure, error) { return experiments.Fig6c(p) }
+
+// AllFigures regenerates every figure at the given scale.
+func AllFigures(p ExperimentParams) ([]experiments.Named, error) { return experiments.All(p) }

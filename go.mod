@@ -1,0 +1,3 @@
+module femtocr
+
+go 1.22

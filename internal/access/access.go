@@ -1,0 +1,184 @@
+// Package access implements the probabilistic opportunistic channel access
+// rule of the paper's §III-C.
+//
+// After fusing the slot's sensing results into per-channel availability
+// posteriors P_A, each licensed channel is accessed (decision variable
+// D_m = 0) with probability P_D = min(gamma / (1 - P_A), 1), the largest
+// access probability that keeps the collision probability with primary
+// users below the threshold gamma (eqs. (6)-(7)). The set of accessed
+// channels is A(t), and G_t = sum over A(t) of P_A is the expected number of
+// truly available channels used by the resource-allocation problem.
+package access
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"femtocr/internal/rng"
+	"femtocr/internal/spectrum"
+)
+
+// ErrBadGamma is returned when the collision threshold lies outside [0, 1].
+var ErrBadGamma = errors.New("access: collision threshold gamma must be in [0, 1]")
+
+// Policy is the access controller for the licensed band.
+type Policy struct {
+	gamma float64
+}
+
+// NewPolicy builds a Policy with the maximum allowable collision probability
+// gamma (per channel, per slot).
+func NewPolicy(gamma float64) (Policy, error) {
+	if gamma < 0 || gamma > 1 || math.IsNaN(gamma) {
+		return Policy{}, fmt.Errorf("%w: gamma=%v", ErrBadGamma, gamma)
+	}
+	return Policy{gamma: gamma}, nil
+}
+
+// Gamma returns the collision threshold.
+func (p Policy) Gamma() float64 { return p.gamma }
+
+// AccessProbability returns P_D of eq. (7) for a channel with availability
+// posterior pa: the probability the channel is declared idle and accessed.
+func (p Policy) AccessProbability(pa float64) float64 {
+	busy := 1 - pa
+	if busy <= p.gamma {
+		// Even if the channel turns out busy, colliding is within budget.
+		return 1
+	}
+	return p.gamma / busy
+}
+
+// ChannelDecision records the access outcome for one licensed channel.
+type ChannelDecision struct {
+	Channel    int     // 1-based licensed channel index
+	Posterior  float64 // fused availability P_A
+	AccessProb float64 // P_D of eq. (7)
+	Accessed   bool    // D_m = 0 in the paper's encoding
+}
+
+// SlotDecision aggregates the per-channel decisions of one slot.
+type SlotDecision struct {
+	Channels []ChannelDecision
+}
+
+// Decide draws the access decision D_m for every licensed channel given the
+// fused posteriors (posteriors[m-1] = P_A of channel m).
+func (p Policy) Decide(posteriors []float64, s *rng.Stream) SlotDecision {
+	out := SlotDecision{Channels: make([]ChannelDecision, len(posteriors))}
+	for i, pa := range posteriors {
+		pd := p.AccessProbability(pa)
+		out.Channels[i] = ChannelDecision{
+			Channel:    i + 1,
+			Posterior:  pa,
+			AccessProb: pd,
+			Accessed:   s.Bernoulli(pd),
+		}
+	}
+	return out
+}
+
+// Available returns the accessed channel set A(t) as 1-based indices.
+func (d SlotDecision) Available() []int {
+	var out []int
+	for _, c := range d.Channels {
+		if c.Accessed {
+			out = append(out, c.Channel)
+		}
+	}
+	return out
+}
+
+// ExpectedAvailable returns G_t = sum over accessed channels of P_A, the
+// expected number of truly idle channels among those accessed.
+func (d SlotDecision) ExpectedAvailable() float64 {
+	g := 0.0
+	for _, c := range d.Channels {
+		if c.Accessed {
+			g += c.Posterior
+		}
+	}
+	return g
+}
+
+// NumAccessed returns |A(t)|.
+func (d SlotDecision) NumAccessed() int {
+	n := 0
+	for _, c := range d.Channels {
+		if c.Accessed {
+			n++
+		}
+	}
+	return n
+}
+
+// CollisionBound returns the largest per-channel conditional collision
+// probability (1 - P_A) * P_D of this slot, the left-hand side of eq. (6).
+// A correct policy keeps it at or below gamma.
+func (d SlotDecision) CollisionBound() float64 {
+	worst := 0.0
+	for _, c := range d.Channels {
+		if v := (1 - c.Posterior) * c.AccessProb; v > worst {
+			worst = v
+		}
+	}
+	return worst
+}
+
+// CollisionTracker measures the realized collision rate against the true
+// channel occupancy, validating primary-user protection end to end.
+type CollisionTracker struct {
+	slots      int
+	collisions []int // per channel: slots where accessed && truly busy
+	busySlots  []int // per channel: slots where truly busy
+}
+
+// NewCollisionTracker tracks m licensed channels.
+func NewCollisionTracker(m int) *CollisionTracker {
+	return &CollisionTracker{
+		collisions: make([]int, m),
+		busySlots:  make([]int, m),
+	}
+}
+
+// Record accounts one slot's decision against the true occupancy.
+func (c *CollisionTracker) Record(d SlotDecision, truth spectrum.Occupancy) {
+	c.slots++
+	for _, ch := range d.Channels {
+		idx := ch.Channel - 1
+		if idx < 0 || idx >= len(c.collisions) {
+			continue
+		}
+		if !truth.Idle(ch.Channel) {
+			c.busySlots[idx]++
+			if ch.Accessed {
+				c.collisions[idx]++
+			}
+		}
+	}
+}
+
+// Slots returns the number of recorded slots.
+func (c *CollisionTracker) Slots() int { return c.slots }
+
+// Rate returns the per-slot collision probability of channel m (1-based):
+// the fraction of all slots in which the CR network transmitted on channel m
+// while a primary user occupied it. This is the quantity bounded by gamma.
+func (c *CollisionTracker) Rate(m int) float64 {
+	if c.slots == 0 {
+		return 0
+	}
+	return float64(c.collisions[m-1]) / float64(c.slots)
+}
+
+// MaxRate returns the largest per-channel collision rate.
+func (c *CollisionTracker) MaxRate() float64 {
+	worst := 0.0
+	for m := 1; m <= len(c.collisions); m++ {
+		if r := c.Rate(m); r > worst {
+			worst = r
+		}
+	}
+	return worst
+}

@@ -1,0 +1,224 @@
+package access
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"femtocr/internal/markov"
+	"femtocr/internal/rng"
+	"femtocr/internal/sensing"
+	"femtocr/internal/spectrum"
+)
+
+func policy(t *testing.T, gamma float64) Policy {
+	t.Helper()
+	p, err := NewPolicy(gamma)
+	if err != nil {
+		t.Fatalf("NewPolicy(%v): %v", gamma, err)
+	}
+	return p
+}
+
+func TestNewPolicyValidation(t *testing.T) {
+	for _, g := range []float64{0, 0.2, 1} {
+		if _, err := NewPolicy(g); err != nil {
+			t.Errorf("NewPolicy(%v) unexpected err %v", g, err)
+		}
+	}
+	for _, g := range []float64{-0.1, 1.1, math.NaN()} {
+		if _, err := NewPolicy(g); !errors.Is(err, ErrBadGamma) {
+			t.Errorf("NewPolicy(%v) err should be ErrBadGamma", g)
+		}
+	}
+}
+
+// TestAccessProbabilityEquation7 checks P_D = min(gamma/(1-P_A), 1).
+func TestAccessProbabilityEquation7(t *testing.T) {
+	p := policy(t, 0.2)
+	cases := []struct {
+		pa   float64
+		want float64
+	}{
+		{0.9, 1},    // 1-pa = 0.1 <= gamma: always access
+		{0.8, 1},    // boundary: 1-pa == gamma
+		{0.5, 0.4},  // 0.2/0.5
+		{0.0, 0.2},  // certainly busy: access with prob gamma
+		{0.75, 0.8}, // 0.2/0.25
+		{1.0, 1},    // certainly idle
+		{0.6, 0.5},  // 0.2/0.4
+	}
+	for _, c := range cases {
+		if got := p.AccessProbability(c.pa); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("AccessProbability(%v) = %v, want %v", c.pa, got, c.want)
+		}
+	}
+}
+
+// TestCollisionConstraintProperty: (1 - P_A) * P_D <= gamma for every
+// posterior, the primary-user protection constraint of eq. (6).
+func TestCollisionConstraintProperty(t *testing.T) {
+	err := quick.Check(func(gPct, paPct uint16) bool {
+		gamma := float64(gPct%101) / 100
+		pa := float64(paPct%1001) / 1000
+		p, err := NewPolicy(gamma)
+		if err != nil {
+			return false
+		}
+		pd := p.AccessProbability(pa)
+		return pd >= 0 && pd <= 1 && (1-pa)*pd <= gamma+1e-12
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGammaZeroNeverAccessesUncertain(t *testing.T) {
+	p := policy(t, 0)
+	if got := p.AccessProbability(0.7); got != 0 {
+		t.Fatalf("gamma=0, P_A=0.7: P_D = %v, want 0", got)
+	}
+	// A certainly idle channel may still be accessed.
+	if got := p.AccessProbability(1.0); got != 1 {
+		t.Fatalf("gamma=0, P_A=1: P_D = %v, want 1", got)
+	}
+}
+
+func TestDecideRealizesAccessProbability(t *testing.T) {
+	p := policy(t, 0.2)
+	s := rng.New(1)
+	const n = 200000
+	accessed := 0
+	for i := 0; i < n; i++ {
+		d := p.Decide([]float64{0.5}, s)
+		if d.Channels[0].Accessed {
+			accessed++
+		}
+	}
+	got := float64(accessed) / n
+	if math.Abs(got-0.4) > 0.01 {
+		t.Fatalf("empirical access rate %v, want ~0.4", got)
+	}
+}
+
+func TestSlotDecisionAggregates(t *testing.T) {
+	d := SlotDecision{Channels: []ChannelDecision{
+		{Channel: 1, Posterior: 0.9, AccessProb: 1, Accessed: true},
+		{Channel: 2, Posterior: 0.5, AccessProb: 0.4, Accessed: false},
+		{Channel: 3, Posterior: 0.8, AccessProb: 1, Accessed: true},
+	}}
+	av := d.Available()
+	if len(av) != 2 || av[0] != 1 || av[1] != 3 {
+		t.Fatalf("Available = %v, want [1 3]", av)
+	}
+	if got := d.ExpectedAvailable(); math.Abs(got-1.7) > 1e-12 {
+		t.Fatalf("ExpectedAvailable = %v, want 1.7", got)
+	}
+	if d.NumAccessed() != 2 {
+		t.Fatalf("NumAccessed = %d, want 2", d.NumAccessed())
+	}
+	if got := d.CollisionBound(); math.Abs(got-0.2) > 1e-12 {
+		t.Fatalf("CollisionBound = %v, want 0.2 (channel 3)", got)
+	}
+}
+
+func TestEmptySlotDecision(t *testing.T) {
+	var d SlotDecision
+	if d.Available() != nil || d.ExpectedAvailable() != 0 || d.NumAccessed() != 0 || d.CollisionBound() != 0 {
+		t.Fatal("empty decision aggregates should be zero")
+	}
+}
+
+// TestEndToEndCollisionRate runs the full pipeline — Markov occupancy,
+// noisy sensing, fusion, access — and verifies the realized per-slot
+// collision probability stays below gamma. This is the paper's
+// primary-user-protection guarantee.
+func TestEndToEndCollisionRate(t *testing.T) {
+	const (
+		m     = 8
+		gamma = 0.2
+		slots = 30000
+	)
+	chain, err := markov.NewChain(0.4, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	band, err := spectrum.NewBand(m, 0.3, 0.3, chain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	det, err := sensing.NewDetector(0.3, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pol := policy(t, gamma)
+	root := rng.New(12345)
+	sim := spectrum.NewSimulator(band, root.Split("occupancy"))
+	senseStream := root.Split("sense")
+	accessStream := root.Split("access")
+	tracker := NewCollisionTracker(m)
+	eta := chain.Utilization()
+
+	for slot := 0; slot < slots; slot++ {
+		truth := sim.Step()
+		posteriors := make([]float64, m)
+		for ch := 1; ch <= m; ch++ {
+			// Three sensing results per channel, as with K=3 users + FBS.
+			obs := []sensing.Observation{
+				det.Sense(truth[ch-1], senseStream),
+				det.Sense(truth[ch-1], senseStream),
+				det.Sense(truth[ch-1], senseStream),
+			}
+			pa, err := sensing.Posterior(eta, obs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			posteriors[ch-1] = pa
+		}
+		d := pol.Decide(posteriors, accessStream)
+		if d.CollisionBound() > gamma+1e-9 {
+			t.Fatalf("slot %d: collision bound %v exceeds gamma", slot, d.CollisionBound())
+		}
+		tracker.Record(d, truth)
+	}
+	if tracker.Slots() != slots {
+		t.Fatalf("tracker recorded %d slots, want %d", tracker.Slots(), slots)
+	}
+	// Allow small sampling slack above gamma.
+	if got := tracker.MaxRate(); got > gamma+0.02 {
+		t.Fatalf("realized max collision rate %v exceeds gamma=%v", got, gamma)
+	}
+	// With imperfect sensing the system must actually be transmitting
+	// sometimes on busy channels; a zero rate would mean it never accesses.
+	if tracker.MaxRate() == 0 {
+		t.Fatal("collision rate is exactly zero; access rule looks inert")
+	}
+}
+
+func TestCollisionTrackerPerChannel(t *testing.T) {
+	tr := NewCollisionTracker(2)
+	truth := spectrum.Occupancy{markov.Busy, markov.Idle}
+	d := SlotDecision{Channels: []ChannelDecision{
+		{Channel: 1, Posterior: 0.5, AccessProb: 0.4, Accessed: true},
+		{Channel: 2, Posterior: 0.9, AccessProb: 1, Accessed: true},
+	}}
+	tr.Record(d, truth)
+	tr.Record(d, truth)
+	if got := tr.Rate(1); got != 1 {
+		t.Fatalf("channel 1 collision rate %v, want 1", got)
+	}
+	if got := tr.Rate(2); got != 0 {
+		t.Fatalf("channel 2 collision rate %v, want 0", got)
+	}
+	if tr.MaxRate() != 1 {
+		t.Fatalf("MaxRate = %v, want 1", tr.MaxRate())
+	}
+}
+
+func TestCollisionTrackerEmpty(t *testing.T) {
+	tr := NewCollisionTracker(3)
+	if tr.Rate(1) != 0 || tr.MaxRate() != 0 || tr.Slots() != 0 {
+		t.Fatal("empty tracker should report zeros")
+	}
+}

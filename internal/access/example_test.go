@@ -1,0 +1,26 @@
+package access_test
+
+import (
+	"fmt"
+
+	"femtocr/internal/access"
+)
+
+// The opportunistic access rule of eq. (7): the access probability is the
+// largest value that keeps the expected collision with primary users at or
+// below gamma (eq. 6).
+func ExamplePolicy_AccessProbability() {
+	policy, err := access.NewPolicy(0.2)
+	if err != nil {
+		panic(err)
+	}
+	for _, pa := range []float64{0.9, 0.8, 0.5, 0.0} {
+		pd := policy.AccessProbability(pa)
+		fmt.Printf("P_A=%.1f -> P_D=%.2f (collision %.2f)\n", pa, pd, (1-pa)*pd)
+	}
+	// Output:
+	// P_A=0.9 -> P_D=1.00 (collision 0.10)
+	// P_A=0.8 -> P_D=1.00 (collision 0.20)
+	// P_A=0.5 -> P_D=0.40 (collision 0.20)
+	// P_A=0.0 -> P_D=0.20 (collision 0.20)
+}

@@ -1,0 +1,41 @@
+package belief_test
+
+import (
+	"fmt"
+
+	"femtocr/internal/belief"
+	"femtocr/internal/markov"
+	"femtocr/internal/spectrum"
+)
+
+// The occupancy filter: observing a channel certainly idle, the belief
+// relaxes back toward the stationary utilization through the Markov kernel
+// — one P01 step at a time.
+func ExampleTracker() {
+	chain, err := markov.NewChain(0.4, 0.3)
+	if err != nil {
+		panic(err)
+	}
+	band, err := spectrum.NewBand(1, 0.3, 0.3, chain)
+	if err != nil {
+		panic(err)
+	}
+	tr := belief.NewTracker(band)
+	if err := tr.Observe(1, 1.0); err != nil { // certainly idle now
+		panic(err)
+	}
+	for slot := 0; slot < 3; slot++ {
+		tr.Predict()
+		busy, err := tr.PriorBusy(1)
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("slot +%d: Pr{busy} = %.3f\n", slot+1, busy)
+	}
+	fmt.Printf("stationary: %.3f\n", chain.Utilization())
+	// Output:
+	// slot +1: Pr{busy} = 0.400
+	// slot +2: Pr{busy} = 0.520
+	// slot +3: Pr{busy} = 0.556
+	// stationary: 0.571
+}

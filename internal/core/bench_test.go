@@ -1,0 +1,127 @@
+package core
+
+// Ablation benchmarks for the design choices called out in DESIGN.md:
+// solver choice (distributed subgradient vs price equilibrium vs brute
+// force), greedy evaluation strategy (eager vs lazy), and the dual step
+// schedule (diminishing vs constant).
+
+import (
+	"testing"
+
+	"femtocr/internal/rng"
+)
+
+func benchInstance(k, n int) *Instance {
+	return randomInstance(rng.New(42), k, n)
+}
+
+func BenchmarkWaterfill(b *testing.B) {
+	users := make([]waterfillUser, 9)
+	s := rng.New(1)
+	for i := range users {
+		users[i] = waterfillUser{ps: 0.3 + 0.7*s.Float64(), w: 25 + 10*s.Float64(), r: 0.1 + 0.4*s.Float64(), cap: -1}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		waterfill(users, 1)
+	}
+}
+
+func BenchmarkDualSolver(b *testing.B) {
+	in := benchInstance(9, 3)
+	solver := NewDualSolver()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := solver.Solve(in); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDualSolverConstantStep(b *testing.B) {
+	in := benchInstance(9, 3)
+	solver := NewDualSolver(WithConstantStep(), WithStep(1e-3))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := solver.Solve(in); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEquilibriumSolver(b *testing.B) {
+	in := benchInstance(9, 3)
+	solver := &EquilibriumSolver{}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := solver.Solve(in); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBruteForceSolver(b *testing.B) {
+	in := benchInstance(9, 3)
+	solver := &BruteForceSolver{}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := solver.Solve(in); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHeuristic1(b *testing.B) {
+	in := benchInstance(9, 3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := (Heuristic1{}).Solve(in); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHeuristic2(b *testing.B) {
+	in := benchInstance(9, 3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := (Heuristic2{}).Solve(in); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGreedyEager(b *testing.B) {
+	p := interferingProblemBench(5)
+	g := NewGreedyAllocator(&EquilibriumSolver{})
+	b.ResetTimer()
+	evals := 0
+	for i := 0; i < b.N; i++ {
+		res, err := g.Allocate(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		evals = res.Evaluations
+	}
+	b.ReportMetric(float64(evals), "Q_evals")
+}
+
+func BenchmarkGreedyLazy(b *testing.B) {
+	p := interferingProblemBench(5)
+	g := NewGreedyAllocator(&EquilibriumSolver{}, WithLazyEvaluation())
+	b.ResetTimer()
+	evals := 0
+	for i := 0; i < b.N; i++ {
+		res, err := g.Allocate(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		evals = res.Evaluations
+	}
+	b.ReportMetric(float64(evals), "Q_evals")
+}
+
+// interferingProblemBench mirrors the test helper at benchmark scale.
+func interferingProblemBench(numChannels int) *ChannelProblem {
+	return interferingProblem(rng.New(7), numChannels)
+}

@@ -1,0 +1,299 @@
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// DualSolver implements the paper's distributed dual-decomposition algorithm
+// (Table I for one FBS, Table II for several): each CR user solves its local
+// subproblem (14) in closed form for the current prices, picks the better
+// base station (Theorem 1 makes the optimal association binary), and the MBS
+// updates the dual variables by projected subgradient, eqs. (16), (18)-(19).
+//
+// After the dual loop, the solver fixes the association from the final
+// prices and water-fills each resource exactly, which guarantees a feasible
+// allocation even when the subgradient iteration was stopped early.
+type DualSolver struct {
+	step        float64 // base step size s; 0 means auto-scaled per resource
+	stepScale   float64 // auto-step fraction of the price scale
+	phi         float64 // termination threshold on squared dual movement
+	maxIter     int
+	diminishing bool // s_tau = s/sqrt(1+tau)
+	trace       bool // record per-iteration dual values
+	lambdaMin   float64
+}
+
+var _ Solver = (*DualSolver)(nil)
+
+// DualOption configures a DualSolver.
+type DualOption func(*DualSolver)
+
+// WithStep sets a fixed base step size s (Table I step 9). The default 0
+// auto-scales the step to each resource's price magnitude.
+func WithStep(s float64) DualOption { return func(d *DualSolver) { d.step = s } }
+
+// WithStepScale sets the auto-scaled step as a fraction of each resource's
+// estimated price magnitude (default 0.1). Smaller fractions converge more
+// slowly but trace the paper's long Fig. 4(a) trajectories.
+func WithStepScale(f float64) DualOption { return func(d *DualSolver) { d.stepScale = f } }
+
+// WithPhi sets the termination threshold phi of Table I step 11.
+func WithPhi(phi float64) DualOption { return func(d *DualSolver) { d.phi = phi } }
+
+// WithMaxIter caps the subgradient iterations.
+func WithMaxIter(n int) DualOption { return func(d *DualSolver) { d.maxIter = n } }
+
+// WithConstantStep disables the diminishing step-size schedule, running the
+// plain constant-step subgradient of the paper.
+func WithConstantStep() DualOption { return func(d *DualSolver) { d.diminishing = false } }
+
+// WithTrace records the dual-variable trajectory (Fig. 4(a)).
+func WithTrace() DualOption { return func(d *DualSolver) { d.trace = true } }
+
+// NewDualSolver builds the solver with sensible defaults: auto step,
+// phi = 1e-14, 2000 iteration cap, diminishing steps.
+func NewDualSolver(opts ...DualOption) *DualSolver {
+	d := &DualSolver{
+		stepScale:   0.1,
+		phi:         1e-14,
+		maxIter:     2000,
+		diminishing: true,
+		lambdaMin:   1e-12,
+	}
+	for _, o := range opts {
+		o(d)
+	}
+	return d
+}
+
+// Name identifies the scheme.
+func (d *DualSolver) Name() string { return "Proposed" }
+
+// DualReport carries diagnostics of one solve: the final prices
+// [lambda_0, lambda_1..lambda_N], the number of subgradient iterations, and
+// (when tracing) the per-iteration price trajectory.
+type DualReport struct {
+	Lambda     []float64
+	Iterations int
+	Converged  bool
+	Trace      [][]float64
+}
+
+// Solve returns a feasible allocation for the slot's problem.
+func (d *DualSolver) Solve(in *Instance) (*Allocation, error) {
+	alloc, _, err := d.SolveDetailed(in)
+	return alloc, err
+}
+
+// SolveDetailed additionally returns the dual-iteration diagnostics.
+func (d *DualSolver) SolveDetailed(in *Instance) (*Allocation, *DualReport, error) {
+	if err := in.Validate(); err != nil {
+		return nil, nil, err
+	}
+	k, n := in.K(), in.N()
+	nRes := n + 1 // resource 0 is the common channel, 1..N the FBS bands
+
+	// Per-resource price scale estimates used for auto step sizing and
+	// initialization: lambda* ~ sum(ps) / (1 + sum(w/r)) from the
+	// water-filling KKT conditions.
+	scale := make([]float64, nRes)
+	{
+		sumPS := make([]float64, nRes)
+		sumWR := make([]float64, nRes)
+		for j := 0; j < k; j++ {
+			if in.R0[j] > 0 {
+				sumPS[0] += in.PS0[j]
+				sumWR[0] += in.W[j] / in.R0[j]
+			}
+			if r := in.effR1(j); r > 0 {
+				i := in.FBS[j]
+				sumPS[i] += in.PS1[j]
+				sumWR[i] += in.W[j] / r
+			}
+		}
+		for i := range scale {
+			if sumPS[i] > 0 {
+				scale[i] = sumPS[i] / (1 + sumWR[i])
+			} else {
+				scale[i] = 1
+			}
+		}
+	}
+
+	lambda := make([]float64, nRes)
+	for i := range lambda {
+		lambda[i] = 2 * scale[i] // start above the target, as in Fig. 4(a)
+	}
+	report := &DualReport{Iterations: 0}
+	if d.trace {
+		report.Trace = append(report.Trace, append([]float64(nil), lambda...))
+	}
+
+	rho0 := make([]float64, k)
+	rho1 := make([]float64, k)
+	onMBS := make([]bool, k)
+	sums := make([]float64, nRes)
+	next := make([]float64, nRes)
+
+	for tau := 0; tau < d.maxIter; tau++ {
+		// Steps 3-8: each user solves its subproblem at the current prices.
+		for i := range sums {
+			sums[i] = 0
+		}
+		for j := 0; j < k; j++ {
+			i := in.FBS[j]
+			u0 := in.user0(j)
+			u1 := in.user1(j)
+			l0 := math.Max(lambda[0], d.lambdaMin)
+			l1 := math.Max(lambda[i], d.lambdaMin)
+			r0, r1 := u0.rhoAt(l0), u1.rhoAt(l1)
+			if u0.branchValue(l0) > u1.branchValue(l1) {
+				onMBS[j] = true
+				rho0[j], rho1[j] = r0, 0
+				sums[0] += r0
+			} else {
+				onMBS[j] = false
+				rho0[j], rho1[j] = 0, r1
+				sums[i] += r1
+			}
+		}
+
+		// Step 9: projected subgradient update, eqs. (18)-(19).
+		move := 0.0
+		for i := range lambda {
+			g := 1 - sums[i] // subgradient of the dual in lambda_i
+			if g < -10 {
+				g = -10 // clip runaway demand when a price hits zero
+			}
+			s := d.step
+			if s <= 0 {
+				s = d.stepScale * scale[i]
+			}
+			if d.diminishing {
+				s /= math.Sqrt(1 + float64(tau))
+			}
+			next[i] = lambda[i] - s*g
+			if next[i] < 0 {
+				next[i] = 0
+			}
+			delta := next[i] - lambda[i]
+			move += delta * delta
+		}
+		copy(lambda, next)
+		report.Iterations = tau + 1
+		if d.trace {
+			report.Trace = append(report.Trace, append([]float64(nil), lambda...))
+		}
+		if move <= d.phi {
+			report.Converged = true
+			break
+		}
+	}
+	report.Lambda = append([]float64(nil), lambda...)
+
+	// Repair: freeze the association from the final prices and water-fill
+	// each resource exactly so the allocation is feasible and supported by
+	// consistent prices.
+	alloc := d.repair(in, lambda)
+	if err := alloc.Feasible(in, 1e-9); err != nil {
+		return nil, nil, fmt.Errorf("dual solver produced infeasible allocation: %w", err)
+	}
+	return alloc, report, nil
+}
+
+// repair builds the final feasible allocation: users keep the base station
+// chosen at the final prices; each resource is then water-filled among its
+// users.
+func (d *DualSolver) repair(in *Instance, lambda []float64) *Allocation {
+	k := in.K()
+	alloc := NewAllocation(k)
+	for j := 0; j < k; j++ {
+		i := in.FBS[j]
+		u0 := in.user0(j)
+		u1 := in.user1(j)
+		l0 := math.Max(lambda[0], d.lambdaMin)
+		l1 := math.Max(lambda[i], d.lambdaMin)
+		alloc.MBS[j] = u0.branchValue(l0) > u1.branchValue(l1)
+	}
+	fillResources(in, alloc)
+	polishAssociation(in, alloc, 4)
+	return alloc
+}
+
+// polishAssociation runs best-improvement coordinate search over the binary
+// base-station association: flip one user at a time, re-water-fill the two
+// affected resources, keep strict improvements. It repairs mis-associations
+// left by a truncated dual iteration; at most maxRounds passes over the
+// users.
+func polishAssociation(in *Instance, alloc *Allocation, maxRounds int) {
+	k := in.K()
+	cur := alloc.Objective(in)
+	for round := 0; round < maxRounds; round++ {
+		improved := false
+		for j := 0; j < k; j++ {
+			// Flipping user j only perturbs the common channel and its own
+			// FBS band; every other resource's water-filling is unchanged.
+			alloc.MBS[j] = !alloc.MBS[j]
+			fillCommon(in, alloc)
+			fillFBS(in, alloc, in.FBS[j])
+			if v := alloc.Objective(in); v > cur+1e-12 {
+				cur = v
+				improved = true
+			} else {
+				alloc.MBS[j] = !alloc.MBS[j]
+				fillCommon(in, alloc)
+				fillFBS(in, alloc, in.FBS[j])
+			}
+		}
+		if !improved {
+			return
+		}
+	}
+}
+
+// fillResources water-fills the common channel among MBS users and each FBS
+// band among its users, given a fixed association in alloc.MBS.
+func fillResources(in *Instance, alloc *Allocation) {
+	fillCommon(in, alloc)
+	for i := 1; i <= in.N(); i++ {
+		fillFBS(in, alloc, i)
+	}
+}
+
+// fillCommon water-fills the common channel among the users associated with
+// the MBS.
+func fillCommon(in *Instance, alloc *Allocation) {
+	k := in.K()
+	var mbsUsers []int
+	var wfu []waterfillUser
+	for j := 0; j < k; j++ {
+		if alloc.MBS[j] {
+			mbsUsers = append(mbsUsers, j)
+			wfu = append(wfu, in.user0(j))
+		}
+	}
+	rho, _ := waterfill(wfu, 1)
+	for idx, j := range mbsUsers {
+		alloc.Rho0[j] = rho[idx]
+		alloc.Rho1[j] = 0
+	}
+}
+
+// fillFBS water-fills FBS i's licensed band among its associated users.
+func fillFBS(in *Instance, alloc *Allocation, i int) {
+	k := in.K()
+	var users []int
+	var fu []waterfillUser
+	for j := 0; j < k; j++ {
+		if !alloc.MBS[j] && in.FBS[j] == i {
+			users = append(users, j)
+			fu = append(fu, in.user1(j))
+		}
+	}
+	rhoI, _ := waterfill(fu, 1)
+	for idx, j := range users {
+		alloc.Rho1[j] = rhoI[idx]
+		alloc.Rho0[j] = 0
+	}
+}

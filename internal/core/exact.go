@@ -1,0 +1,202 @@
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// BruteForceSolver finds the global optimum of the per-slot problem by
+// enumerating all binary base-station associations (optimal by Theorem 1)
+// and exactly water-filling every resource for each association. It is
+// exponential in the number of users and intended as the ground-truth
+// reference for tests, small scenarios, and the optimality-gap experiments.
+type BruteForceSolver struct {
+	// MaxUsers guards against accidental exponential blow-ups; Solve
+	// returns an error beyond it. Zero means the default of 20.
+	MaxUsers int
+}
+
+var _ Solver = (*BruteForceSolver)(nil)
+
+// Name identifies the scheme.
+func (b *BruteForceSolver) Name() string { return "Optimal" }
+
+// Solve enumerates associations and returns the best allocation.
+func (b *BruteForceSolver) Solve(in *Instance) (*Allocation, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	limit := b.MaxUsers
+	if limit == 0 {
+		limit = 20
+	}
+	k := in.K()
+	if k > limit {
+		return nil, fmt.Errorf("%w: %d users exceeds brute-force limit %d", ErrNoSolution, k, limit)
+	}
+	var best *Allocation
+	bestVal := math.Inf(-1)
+	alloc := NewAllocation(k)
+	for mask := 0; mask < 1<<k; mask++ {
+		for j := 0; j < k; j++ {
+			alloc.MBS[j] = mask&(1<<j) != 0
+			alloc.Rho0[j] = 0
+			alloc.Rho1[j] = 0
+		}
+		fillResources(in, alloc)
+		if v := alloc.Objective(in); v > bestVal {
+			bestVal = v
+			cp := NewAllocation(k)
+			copy(cp.MBS, alloc.MBS)
+			copy(cp.Rho0, alloc.Rho0)
+			copy(cp.Rho1, alloc.Rho1)
+			best = cp
+		}
+	}
+	return best, nil
+}
+
+// EquilibriumSolver computes a near-exact solution in polynomial time by a
+// nested price search: an outer bisection on the common-channel price
+// lambda_0 and, for each candidate, an inner bisection per FBS on its band
+// price lambda_i. Users pick the base station with the better Lagrangian
+// branch value at the prices (Theorem 1), demands are monotone in each
+// price, and the final association is repaired by exact water-filling.
+//
+// It is the default Q(c) evaluator inside the greedy channel allocator,
+// where the brute-force reference would be exponential.
+type EquilibriumSolver struct {
+	// Iters controls both bisection depths. Zero means the default of 60.
+	Iters int
+}
+
+var _ Solver = (*EquilibriumSolver)(nil)
+
+// Name identifies the scheme.
+func (e *EquilibriumSolver) Name() string { return "Proposed" }
+
+// Solve returns a feasible near-optimal allocation.
+func (e *EquilibriumSolver) Solve(in *Instance) (*Allocation, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	iters := e.Iters
+	if iters == 0 {
+		iters = 45
+	}
+	k := in.K()
+
+	u0 := make([]waterfillUser, k)
+	u1 := make([]waterfillUser, k)
+	sum0PS, sum0WR := 0.0, 0.0
+	for j := 0; j < k; j++ {
+		u0[j] = in.user0(j)
+		u1[j] = in.user1(j)
+		if in.R0[j] > 0 {
+			sum0PS += in.PS0[j]
+			sum0WR += in.W[j] / in.R0[j]
+		}
+	}
+	byFBS := make([][]int, in.N()+1)
+	for j := 0; j < k; j++ {
+		byFBS[in.FBS[j]] = append(byFBS[in.FBS[j]], j)
+	}
+
+	const lambdaFloor = 1e-15
+
+	// equilibriumFBS returns the price of FBS i's band clearing its unit
+	// budget given the common-channel price, along with each member's
+	// choice. Demand is non-increasing in the band price: shares shrink and
+	// users defect to the MBS as it rises. The MBS branch values depend
+	// only on l0, so they are computed once per call.
+	v0 := make([]float64, k)
+	equilibriumFBS := func(i int, l0 float64) float64 {
+		members := byFBS[i]
+		for _, j := range members {
+			v0[j] = u0[j].branchValue(l0)
+		}
+		demand := func(li float64) float64 {
+			total := 0.0
+			for _, j := range members {
+				if u1[j].branchValue(li) >= v0[j] {
+					total += u1[j].rhoAt(li)
+				}
+			}
+			return total
+		}
+		lo := lambdaFloor
+		if demand(lo) <= 1 {
+			return lo
+		}
+		hi := 0.0
+		for _, j := range members {
+			hi += u1[j].ps
+		}
+		if hi <= lo {
+			return lo
+		}
+		for demand(hi) > 1 {
+			hi *= 2
+		}
+		for it := 0; it < iters; it++ {
+			mid := 0.5 * (lo + hi)
+			if demand(mid) > 1 {
+				lo = mid
+			} else {
+				hi = mid
+			}
+		}
+		return hi
+	}
+
+	// Outer bisection on lambda_0: MBS demand is non-increasing in it.
+	// equilibriumFBS leaves v0 populated for the current l0.
+	demand0 := func(l0 float64) float64 {
+		total := 0.0
+		for i := 1; i <= in.N(); i++ {
+			li := equilibriumFBS(i, l0)
+			for _, j := range byFBS[i] {
+				if v0[j] > u1[j].branchValue(li) {
+					total += u0[j].rhoAt(l0)
+				}
+			}
+		}
+		return total
+	}
+
+	lo := lambdaFloor
+	l0 := lo
+	if demand0(lo) > 1 {
+		hi := sum0PS
+		if hi <= lo {
+			hi = 1
+		}
+		for demand0(hi) > 1 {
+			hi *= 2
+		}
+		for it := 0; it < iters; it++ {
+			mid := 0.5 * (lo + hi)
+			if demand0(mid) > 1 {
+				lo = mid
+			} else {
+				hi = mid
+			}
+		}
+		l0 = hi
+	}
+
+	// Fix the association at the equilibrium prices, then water-fill.
+	alloc := NewAllocation(k)
+	for i := 1; i <= in.N(); i++ {
+		li := equilibriumFBS(i, l0)
+		for _, j := range byFBS[i] {
+			alloc.MBS[j] = v0[j] > u1[j].branchValue(li)
+		}
+	}
+	fillResources(in, alloc)
+	polishAssociation(in, alloc, 4)
+	if err := alloc.Feasible(in, 1e-9); err != nil {
+		return nil, fmt.Errorf("equilibrium solver produced infeasible allocation: %w", err)
+	}
+	return alloc, nil
+}

@@ -1,0 +1,60 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzWaterfill hunts for inputs where the bisection produces negative
+// shares, blows the budget, overflows a cap, or returns NaN.
+func FuzzWaterfill(f *testing.F) {
+	f.Add(0.9, 30.0, 0.3, -1.0, 0.5, 25.0, 0.2, 0.4, 1.0)
+	f.Add(0.0, 30.0, 0.0, 0.0, 1.0, 20.0, 0.5, -1.0, 0.5)
+	f.Fuzz(func(t *testing.T, ps1, w1, r1, cap1, ps2, w2, r2, cap2, budget float64) {
+		for _, v := range []float64{ps1, w1, r1, cap1, ps2, w2, r2, cap2, budget} {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return
+			}
+		}
+		clampPS := func(p float64) float64 {
+			if p < 0 {
+				return 0
+			}
+			if p > 1 {
+				return 1
+			}
+			return p
+		}
+		clampPos := func(v, lo, hi float64) float64 {
+			if v < lo {
+				return lo
+			}
+			if v > hi {
+				return hi
+			}
+			return v
+		}
+		users := []waterfillUser{
+			{ps: clampPS(ps1), w: clampPos(w1, 1, 100), r: clampPos(r1, 0, 10), cap: clampPos(cap1, -1, 100)},
+			{ps: clampPS(ps2), w: clampPos(w2, 1, 100), r: clampPos(r2, 0, 10), cap: clampPos(cap2, -1, 100)},
+		}
+		b := clampPos(budget, 0, 10)
+		rho, lambda := waterfill(users, b)
+		if math.IsNaN(lambda) || lambda < 0 {
+			t.Fatalf("lambda = %v", lambda)
+		}
+		total := 0.0
+		for i, r := range rho {
+			if math.IsNaN(r) || r < 0 {
+				t.Fatalf("rho[%d] = %v", i, r)
+			}
+			if c := users[i].cap; c >= 0 && r > c+1e-9 {
+				t.Fatalf("rho[%d] = %v exceeds cap %v", i, r, c)
+			}
+			total += r
+		}
+		if total > b+1e-6 {
+			t.Fatalf("total %v exceeds budget %v", total, b)
+		}
+	})
+}

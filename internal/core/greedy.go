@@ -1,0 +1,434 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"femtocr/internal/igraph"
+)
+
+// ErrBadChannelProblem is returned when a greedy channel-allocation problem
+// is malformed.
+var ErrBadChannelProblem = errors.New("core: invalid channel-allocation problem")
+
+// fbsChannel identifies one candidate pair {i, m} of Table III.
+type fbsChannel struct {
+	fbs   int // 0-based FBS index
+	chIdx int // index into ChannelProblem.Channels
+}
+
+// ChannelProblem is the input to the greedy algorithm of Table III: the
+// slot's user problem (with G to be determined), the interference graph over
+// the FBSs, and the accessed licensed channels A(t) with their availability
+// posteriors P_A.
+type ChannelProblem struct {
+	Base       *Instance     // per-user data; Base.G supplies N and is ignored otherwise
+	Graph      *igraph.Graph // vertices 0..N-1 are FBSs 1..N
+	Channels   []int         // 1-based ids of the accessed channels A(t)
+	Posteriors []float64     // P_A of each accessed channel, parallel to Channels
+}
+
+// Validate checks the problem.
+func (p *ChannelProblem) Validate() error {
+	if p.Base == nil {
+		return fmt.Errorf("%w: nil base instance", ErrBadChannelProblem)
+	}
+	if err := p.Base.Validate(); err != nil {
+		return err
+	}
+	if p.Graph == nil {
+		return fmt.Errorf("%w: nil interference graph", ErrBadChannelProblem)
+	}
+	if p.Graph.N() != p.Base.N() {
+		return fmt.Errorf("%w: graph has %d vertices, instance %d FBSs", ErrBadChannelProblem, p.Graph.N(), p.Base.N())
+	}
+	if len(p.Channels) != len(p.Posteriors) {
+		return fmt.Errorf("%w: %d channels vs %d posteriors", ErrBadChannelProblem, len(p.Channels), len(p.Posteriors))
+	}
+	for i, pa := range p.Posteriors {
+		if pa < 0 || pa > 1 || math.IsNaN(pa) {
+			return fmt.Errorf("%w: posterior[%d]=%v", ErrBadChannelProblem, i, pa)
+		}
+	}
+	return nil
+}
+
+// GreedyStep records one iteration of Table III.
+type GreedyStep struct {
+	FBS     int     // 0-based FBS index chosen
+	Channel int     // 1-based channel id chosen
+	Gain    float64 // Delta_l = Q(pi_l) - Q(pi_{l-1})
+	Degree  int     // D(l): interference-graph degree of the chosen FBS
+	// LiveDegree counts only the neighbors whose pair with this channel was
+	// still in the candidate set when the step was taken. The conflict sets
+	// omega_l of Lemma 5 exclude pairs conflicting with earlier allocations,
+	// so |omega_l| <= LiveDegree <= D(l), giving a tighter valid bound.
+	LiveDegree int
+}
+
+// GreedyResult is the outcome of the greedy channel allocation.
+type GreedyResult struct {
+	// Assigned[i] lists the channel ids allocated to FBS i+1, sorted.
+	Assigned [][]int
+	// G is the resulting expected-available-channel vector.
+	G []float64
+	// Alloc is the user allocation solved on the final G.
+	Alloc *Allocation
+	// Value is Q(pi_L), the objective achieved by the greedy allocation.
+	Value float64
+	// UpperBound is the tightened eq. (23) bound on the global optimum:
+	// Q(pi_L) + sum_l LiveDegree(l)*Delta_l. Valid because the conflict set
+	// omega_l only holds optimal pairs not conflicting with earlier steps.
+	UpperBound float64
+	// PaperUpperBound is the literal eq. (23) bound with the full vertex
+	// degree D(l): Q(pi_L) + sum_l D(l)*Delta_l. Always >= UpperBound.
+	PaperUpperBound float64
+	// LowerBoundFactor is Theorem 2's guarantee 1/(1+Dmax): the greedy
+	// value is at least this fraction of the optimum.
+	LowerBoundFactor float64
+	// Steps traces the allocation sequence.
+	Steps []GreedyStep
+	// Evaluations counts Q(.) solves, the algorithm's cost driver.
+	Evaluations int
+}
+
+// GreedyAllocator implements Table III: repeatedly allocate the FBS-channel
+// pair with the largest objective increase, removing the pair and its
+// interference-graph conflicts from the candidate set.
+type GreedyAllocator struct {
+	solver Solver
+	lazy   bool
+}
+
+// GreedyOption configures a GreedyAllocator.
+type GreedyOption func(*GreedyAllocator)
+
+// WithLazyEvaluation enables lazy re-evaluation of candidate gains: gains
+// are submodular (the paper's Property 1), so a cached gain that is still
+// the largest after re-evaluation is guaranteed optimal. Reduces Q(.)
+// evaluations substantially with identical results.
+func WithLazyEvaluation() GreedyOption { return func(g *GreedyAllocator) { g.lazy = true } }
+
+// NewGreedyAllocator builds the allocator with the given Q(c) evaluator; a
+// nil solver defaults to the EquilibriumSolver.
+func NewGreedyAllocator(solver Solver, opts ...GreedyOption) *GreedyAllocator {
+	if solver == nil {
+		solver = &EquilibriumSolver{}
+	}
+	g := &GreedyAllocator{solver: solver}
+	for _, o := range opts {
+		o(g)
+	}
+	return g
+}
+
+// Name identifies the scheme.
+func (g *GreedyAllocator) Name() string { return "Proposed" }
+
+// Allocate runs Table III and solves the user problem on the resulting
+// channel allocation.
+func (g *GreedyAllocator) Allocate(p *ChannelProblem) (*GreedyResult, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	n := p.Base.N()
+	res := &GreedyResult{
+		Assigned:         make([][]int, n),
+		G:                make([]float64, n),
+		LowerBoundFactor: 1 / (1 + float64(p.Graph.MaxDegree())),
+	}
+
+	// Q evaluates the user problem for an expected-channel vector.
+	q := func(gvec []float64) (float64, error) {
+		res.Evaluations++
+		alloc, err := g.solver.Solve(p.Base.WithG(gvec))
+		if err != nil {
+			return 0, err
+		}
+		return alloc.Objective(p.Base.WithG(gvec)), nil
+	}
+
+	cur, err := q(res.G)
+	if err != nil {
+		return nil, err
+	}
+
+	candidates := make(map[fbsChannel]bool, n*len(p.Channels))
+	for i := 0; i < n; i++ {
+		for c := range p.Channels {
+			candidates[fbsChannel{i, c}] = true
+		}
+	}
+
+	gainOf := func(pr fbsChannel) (float64, error) {
+		trial := append([]float64(nil), res.G...)
+		trial[pr.fbs] += p.Posteriors[pr.chIdx]
+		v, err := q(trial)
+		if err != nil {
+			return 0, err
+		}
+		return v - cur, nil
+	}
+
+	var slack boundSlack
+	if g.lazy {
+		if err := g.runLazy(p, candidates, gainOf, &cur, res, &slack); err != nil {
+			return nil, err
+		}
+	} else {
+		if err := g.runEager(p, candidates, gainOf, &cur, res, &slack); err != nil {
+			return nil, err
+		}
+	}
+
+	for i := range res.Assigned {
+		sort.Ints(res.Assigned[i])
+	}
+	res.Value = cur
+	res.UpperBound = cur + slack.live
+	res.PaperUpperBound = cur + slack.full
+	alloc, err := g.solver.Solve(p.Base.WithG(res.G))
+	if err != nil {
+		return nil, err
+	}
+	res.Alloc = alloc
+	return res, nil
+}
+
+// boundSlack accumulates the degree-weighted gain sums of the two eq. (23)
+// variants.
+type boundSlack struct {
+	live float64 // sum of LiveDegree(l) * Delta_l
+	full float64 // sum of D(l) * Delta_l
+}
+
+// take applies a chosen pair: update state, record the step, and remove the
+// pair plus its interference conflicts from the candidate set. liveGain
+// returns the current marginal gain of a still-live conflicting pair; by
+// Lemma 6 it never exceeds the chosen gain, and summing the actual values
+// instead of Delta_l tightens the eq. (23) bound further.
+func (g *GreedyAllocator) take(p *ChannelProblem, candidates map[fbsChannel]bool,
+	best fbsChannel, gain float64, cur *float64, res *GreedyResult, slack *boundSlack,
+	liveGain func(fbsChannel) (float64, error)) error {
+	deg := p.Graph.Degree(best.fbs)
+	live := 0
+	for _, nb := range p.Graph.Neighbors(best.fbs) {
+		pr := fbsChannel{nb, best.chIdx}
+		if !candidates[pr] {
+			continue
+		}
+		live++
+		lg, err := liveGain(pr)
+		if err != nil {
+			return err
+		}
+		if lg > gain {
+			lg = gain // Lemma 6 guarantees this; guard against solver noise
+		}
+		if lg > 0 {
+			slack.live += lg
+		}
+	}
+	res.G[best.fbs] += p.Posteriors[best.chIdx]
+	res.Assigned[best.fbs] = append(res.Assigned[best.fbs], p.Channels[best.chIdx])
+	res.Steps = append(res.Steps, GreedyStep{
+		FBS:        best.fbs,
+		Channel:    p.Channels[best.chIdx],
+		Gain:       gain,
+		Degree:     deg,
+		LiveDegree: live,
+	})
+	*cur += gain
+	slack.full += float64(deg) * gain
+	delete(candidates, best)
+	for _, nb := range p.Graph.Neighbors(best.fbs) {
+		delete(candidates, fbsChannel{nb, best.chIdx})
+	}
+	return nil
+}
+
+// runEager is the literal Table III loop: re-evaluate every remaining
+// candidate each round and take the best.
+func (g *GreedyAllocator) runEager(p *ChannelProblem, candidates map[fbsChannel]bool,
+	gainOf func(fbsChannel) (float64, error), cur *float64,
+	res *GreedyResult, slack *boundSlack) error {
+	for len(candidates) > 0 {
+		bestGain := math.Inf(-1)
+		var best fbsChannel
+		// Deterministic iteration order for reproducibility.
+		keys := make([]fbsChannel, 0, len(candidates))
+		for pr := range candidates {
+			keys = append(keys, pr)
+		}
+		sort.Slice(keys, func(a, b int) bool {
+			if keys[a].fbs != keys[b].fbs {
+				return keys[a].fbs < keys[b].fbs
+			}
+			return keys[a].chIdx < keys[b].chIdx
+		})
+		roundGains := make(map[fbsChannel]float64, len(keys))
+		for _, pr := range keys {
+			gain, err := gainOf(pr)
+			if err != nil {
+				return err
+			}
+			roundGains[pr] = gain
+			if gain > bestGain {
+				bestGain = gain
+				best = pr
+			}
+		}
+		lookup := func(pr fbsChannel) (float64, error) { return roundGains[pr], nil }
+		if err := g.take(p, candidates, best, bestGain, cur, res, slack, lookup); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// runLazy exploits submodularity: cached gains only shrink as the
+// allocation grows, so the best stale gain, once refreshed and still on
+// top, is the true maximum.
+func (g *GreedyAllocator) runLazy(p *ChannelProblem, candidates map[fbsChannel]bool,
+	gainOf func(fbsChannel) (float64, error), cur *float64,
+	res *GreedyResult, slack *boundSlack) error {
+	type entry struct {
+		pr    fbsChannel
+		gain  float64
+		round int
+	}
+	var heap []entry
+	push := func(e entry) {
+		heap = append(heap, e)
+		for i := len(heap) - 1; i > 0; {
+			parent := (i - 1) / 2
+			if heap[parent].gain >= heap[i].gain {
+				break
+			}
+			heap[parent], heap[i] = heap[i], heap[parent]
+			i = parent
+		}
+	}
+	pop := func() entry {
+		top := heap[0]
+		last := len(heap) - 1
+		heap[0] = heap[last]
+		heap = heap[:last]
+		for i := 0; ; {
+			l, r := 2*i+1, 2*i+2
+			largest := i
+			if l < len(heap) && heap[l].gain > heap[largest].gain {
+				largest = l
+			}
+			if r < len(heap) && heap[r].gain > heap[largest].gain {
+				largest = r
+			}
+			if largest == i {
+				break
+			}
+			heap[i], heap[largest] = heap[largest], heap[i]
+			i = largest
+		}
+		return top
+	}
+
+	// Deterministic initial order.
+	keys := make([]fbsChannel, 0, len(candidates))
+	for pr := range candidates {
+		keys = append(keys, pr)
+	}
+	sort.Slice(keys, func(a, b int) bool {
+		if keys[a].fbs != keys[b].fbs {
+			return keys[a].fbs < keys[b].fbs
+		}
+		return keys[a].chIdx < keys[b].chIdx
+	})
+	for _, pr := range keys {
+		gain, err := gainOf(pr)
+		if err != nil {
+			return err
+		}
+		push(entry{pr: pr, gain: gain, round: 0})
+	}
+
+	round := 0
+	for len(heap) > 0 {
+		top := pop()
+		if !candidates[top.pr] {
+			continue // removed by an interference conflict
+		}
+		if top.round != round {
+			gain, err := gainOf(top.pr)
+			if err != nil {
+				return err
+			}
+			push(entry{pr: top.pr, gain: gain, round: round})
+			continue
+		}
+		if err := g.take(p, candidates, top.pr, top.gain, cur, res, slack, gainOf); err != nil {
+			return err
+		}
+		round++
+	}
+	return nil
+}
+
+// ExhaustiveChannelOptimum enumerates every interference-feasible channel
+// allocation — each channel independently goes to any independent set of
+// the graph — and returns the best objective value found. The cost is
+// O(I(G)^len(Channels)) solver calls, where I(G) counts the graph's
+// independent sets, so this is a ground-truth reference for small
+// instances (tests, the topology study, bound validation), not a
+// production path.
+func ExhaustiveChannelOptimum(p *ChannelProblem, solver Solver) (float64, error) {
+	if err := p.Validate(); err != nil {
+		return 0, err
+	}
+	if solver == nil {
+		solver = &EquilibriumSolver{}
+	}
+	n := p.Base.N()
+	var indep [][]int
+	for mask := 0; mask < 1<<n; mask++ {
+		var set []int
+		for i := 0; i < n; i++ {
+			if mask&(1<<i) != 0 {
+				set = append(set, i)
+			}
+		}
+		if p.Graph.IsIndependent(set) {
+			indep = append(indep, set)
+		}
+	}
+	best := math.Inf(-1)
+	var rec func(c int, g []float64) error
+	rec = func(c int, g []float64) error {
+		if c == len(p.Channels) {
+			withG := p.Base.WithG(g)
+			alloc, err := solver.Solve(withG)
+			if err != nil {
+				return err
+			}
+			if v := alloc.Objective(withG); v > best {
+				best = v
+			}
+			return nil
+		}
+		for _, set := range indep {
+			g2 := append([]float64(nil), g...)
+			for _, i := range set {
+				g2[i] += p.Posteriors[c]
+			}
+			if err := rec(c+1, g2); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := rec(0, make([]float64, n)); err != nil {
+		return 0, err
+	}
+	return best, nil
+}

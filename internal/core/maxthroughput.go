@@ -1,0 +1,106 @@
+package core
+
+import "sort"
+
+// MaxThroughput is an extension baseline at the opposite pole from the
+// paper's proportional fairness: it maximizes the sum of expected quality
+// increments sum_j PS_j * rho_j * R_j with no concern for balance. For a
+// linear objective with per-user demand ceilings, the optimum per resource
+// is a greedy fill: serve users in decreasing PS*R_eff order, each up to
+// its encoding ceiling, until the slot is exhausted. Without ceilings it
+// degenerates to winner-takes-all, essentially Heuristic 2 with exact
+// shares.
+type MaxThroughput struct{}
+
+var _ Solver = MaxThroughput{}
+
+// Name identifies the scheme.
+func (MaxThroughput) Name() string { return "Max throughput" }
+
+// Solve assigns each user to its higher-rate side, greedily fills each
+// resource in rate order, then polishes the association by coordinate
+// flips: moving one user to the other base station can raise the total
+// when it leaves an otherwise-idle resource busy.
+func (MaxThroughput) Solve(in *Instance) (*Allocation, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	k := in.K()
+	alloc := NewAllocation(k)
+	for j := 0; j < k; j++ {
+		alloc.MBS[j] = in.PS0[j]*in.R0[j] > in.PS1[j]*in.effR1(j)
+	}
+	fillLinear(in, alloc)
+	cur := totalExpectedGain(in, alloc)
+	for round := 0; round < 4; round++ {
+		improved := false
+		for j := 0; j < k; j++ {
+			alloc.MBS[j] = !alloc.MBS[j]
+			fillLinear(in, alloc)
+			if v := totalExpectedGain(in, alloc); v > cur+1e-12 {
+				cur = v
+				improved = true
+			} else {
+				alloc.MBS[j] = !alloc.MBS[j]
+				fillLinear(in, alloc)
+			}
+		}
+		if !improved {
+			break
+		}
+	}
+	return alloc, nil
+}
+
+// totalExpectedGain sums the expected quality increments of an allocation.
+func totalExpectedGain(in *Instance, a *Allocation) float64 {
+	sum := 0.0
+	for j := 0; j < in.K(); j++ {
+		sum += a.ExpectedGain(in, j)
+	}
+	return sum
+}
+
+// fillLinear greedily fills every resource in decreasing PS*R_eff order up
+// to each user's demand ceiling — the exact optimum of the linear
+// per-resource problem.
+func fillLinear(in *Instance, alloc *Allocation) {
+	k := in.K()
+	fill := func(users []int, rate func(int) float64, cap func(int) float64, set func(int, float64)) {
+		order := append([]int(nil), users...)
+		sort.SliceStable(order, func(a, b int) bool { return rate(order[a]) > rate(order[b]) })
+		budget := 1.0
+		for _, j := range order {
+			if budget <= 0 || rate(j) <= 0 {
+				break
+			}
+			share := budget
+			if c := cap(j); c >= 0 && share > c {
+				share = c
+			}
+			set(j, share)
+			budget -= share
+		}
+	}
+	var mbsUsers []int
+	byFBS := make([][]int, in.N()+1)
+	for j := 0; j < k; j++ {
+		alloc.Rho0[j] = 0
+		alloc.Rho1[j] = 0
+		if alloc.MBS[j] {
+			mbsUsers = append(mbsUsers, j)
+		} else {
+			byFBS[in.FBS[j]] = append(byFBS[in.FBS[j]], j)
+		}
+	}
+	fill(mbsUsers,
+		func(j int) float64 { return in.PS0[j] * in.R0[j] },
+		func(j int) float64 { return in.capFor(j, in.R0[j]) },
+		func(j int, rho float64) { alloc.Rho0[j] = rho })
+	for i := 1; i <= in.N(); i++ {
+		fill(byFBS[i],
+			func(j int) float64 { return in.PS1[j] * in.effR1(j) },
+			func(j int) float64 { return in.capFor(j, in.effR1(j)) },
+			func(j int, rho float64) { alloc.Rho1[j] = rho })
+	}
+}

@@ -1,0 +1,123 @@
+package core
+
+import "math"
+
+// waterfillUser is one user competing for a single time-shared resource.
+type waterfillUser struct {
+	ps  float64 // packet-success probability (objective weight)
+	w   float64 // current quality W^{t-1}
+	r   float64 // per-unit-rho quality increment (R0 or G_i*R1)
+	cap float64 // share ceiling (Wmax-W)/r from the encoding ceiling; < 0 = unbounded
+}
+
+// rhoAt returns the closed-form share of Table I step 3 at price lambda,
+// rho = [ps/lambda - w/r]+, clamped to the user's demand ceiling: beyond it
+// the encoding saturates and extra share is worthless.
+func (u waterfillUser) rhoAt(lambda float64) float64 {
+	if u.r <= 0 || u.ps <= 0 {
+		return 0
+	}
+	rho := u.ps/lambda - u.w/u.r
+	if rho < 0 {
+		return 0
+	}
+	if u.cap >= 0 && rho > u.cap {
+		return u.cap
+	}
+	return rho
+}
+
+// branchValue returns the user's Lagrangian contribution at price lambda
+// with its optimal share: ps*log(w + rho*r) + (1-ps)*log(w) - lambda*rho.
+// This is the quantity compared in Table I step 4 to pick the serving base
+// station. The (1-ps)*log(w) term is the loss branch of the conditional
+// expectation E[log W^t]: when the packet is lost the quality stays at w.
+// (The paper's printed eq. (12) omits it, which would let a user prefer an
+// idle association purely for its larger success-probability weight; the
+// expectation form used here restores the intended comparison.)
+func (u waterfillUser) branchValue(lambda float64) float64 {
+	rho := u.rhoAt(lambda)
+	return u.ps*math.Log(u.w+rho*u.r) + (1-u.ps)*math.Log(u.w) - lambda*rho
+}
+
+// waterfill maximizes sum_j ps_j*log(w_j + rho_j*r_j) subject to
+// sum rho_j <= budget, rho_j >= 0, by bisection on the price lambda (the
+// KKT conditions make total demand strictly decreasing in lambda). It
+// returns the shares and the supporting price. With no effective users the
+// shares are zero and the price 0.
+func waterfill(users []waterfillUser, budget float64) ([]float64, float64) {
+	rho := make([]float64, len(users))
+	if budget <= 0 {
+		return rho, 0
+	}
+	demand := func(lambda float64) float64 {
+		total := 0.0
+		for _, u := range users {
+			total += u.rhoAt(lambda)
+		}
+		return total
+	}
+
+	// Price upper bound: at lambda = sum(ps)/budget every rho <= ps/lambda,
+	// so total demand <= budget.
+	sumPS := 0.0
+	effective := 0
+	for _, u := range users {
+		if u.ps > 0 && u.r > 0 {
+			sumPS += u.ps
+			effective++
+		}
+	}
+	if effective == 0 {
+		return rho, 0
+	}
+	hi := sumPS / budget
+	if demand(hi) > budget {
+		// Guard against rounding; expand until demand fits.
+		for i := 0; i < 64 && demand(hi) > budget; i++ {
+			hi *= 2
+		}
+	}
+	// If even a vanishing price cannot fill the budget the constraint is
+	// slack; that cannot happen here since demand -> +inf as lambda -> 0+
+	// for any effective user, but keep a defensive check.
+	const tiny = 1e-18
+	lo := tiny
+	if demand(lo) <= budget {
+		for j, u := range users {
+			rho[j] = u.rhoAt(lo)
+		}
+		return rho, 0
+	}
+	for iter := 0; iter < 100; iter++ {
+		mid := 0.5 * (lo + hi)
+		if demand(mid) > budget {
+			lo = mid
+		} else {
+			hi = mid
+		}
+		if hi-lo <= 1e-12*hi {
+			break
+		}
+	}
+	lambda := hi // feasible side
+	total := 0.0
+	for j, u := range users {
+		rho[j] = u.rhoAt(lambda)
+		total += rho[j]
+	}
+	// Distribute any residual slack caused by tolerance to keep the budget
+	// exactly saturated (scale up is safe: the objective is increasing in
+	// rho), without pushing anyone past their demand ceiling.
+	if total > 0 && total < budget {
+		scale := budget / total
+		for j := range rho {
+			scaled := rho[j] * scale
+			if c := users[j].cap; c >= 0 && scaled > c {
+				scaled = c
+			}
+			rho[j] = scaled
+		}
+	}
+	return rho, lambda
+}

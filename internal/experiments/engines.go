@@ -1,0 +1,58 @@
+package experiments
+
+import (
+	"femtocr/internal/netmodel"
+	"femtocr/internal/packetsim"
+	"femtocr/internal/sim"
+	"femtocr/internal/stats"
+)
+
+// EngineComparison cross-validates the two simulation engines: the
+// rate-based engine of internal/sim (expected-quality accounting, the
+// paper's model) and the packet-level engine of internal/packetsim
+// (explicit NAL queues, ARQ, deadlines). One curve per engine per scheme,
+// indexed by scheme number; the curves should track each other closely.
+func EngineComparison(p Params) (*stats.Figure, error) {
+	p, err := p.normalize()
+	if err != nil {
+		return nil, err
+	}
+	net, err := netmodel.PaperSingleFBS(p.Config)
+	if err != nil {
+		return nil, err
+	}
+	fig := stats.NewFigure("Validation — rate-based vs packet-level engines",
+		"Scheme (1=Proposed, 2=Heuristic 1, 3=Heuristic 2)", "Y-PSNR (dB)")
+	rate := stats.NewSeries("Rate-based engine")
+	pkt := stats.NewSeries("Packet-level engine")
+	fig.Add(rate)
+	fig.Add(pkt)
+
+	for _, sch := range schemes() {
+		var rateVals, pktVals []float64
+		for r := 0; r < p.Runs; r++ {
+			seed := p.BaseSeed + uint64(r)
+			rr, err := sim.Run(net, sim.Options{Seed: seed, GOPs: p.GOPs, Scheme: sch})
+			if err != nil {
+				return nil, err
+			}
+			pr, err := packetsim.Run(net, packetsim.Options{Seed: seed, GOPs: p.GOPs, Scheme: sch})
+			if err != nil {
+				return nil, err
+			}
+			rateVals = append(rateVals, rr.MeanPSNR)
+			pktVals = append(pktVals, pr.MeanPSNR)
+		}
+		rs, err := stats.Summarize(rateVals)
+		if err != nil {
+			return nil, err
+		}
+		ps, err := stats.Summarize(pktVals)
+		if err != nil {
+			return nil, err
+		}
+		rate.Append(float64(sch), rs)
+		pkt.Append(float64(sch), ps)
+	}
+	return fig, nil
+}

@@ -1,0 +1,141 @@
+// Package experiments regenerates every figure of the paper's evaluation
+// section (§V). Each driver sweeps the figure's parameter, runs the three
+// schemes (plus the eq. (23) upper bound where the paper plots it) over
+// independent replications, and returns the mean Y-PSNR series with 95%
+// confidence intervals — the same rows the paper's figures report.
+package experiments
+
+import (
+	"errors"
+	"fmt"
+
+	"femtocr/internal/netmodel"
+	"femtocr/internal/sim"
+	"femtocr/internal/stats"
+)
+
+// ErrBadParams is returned for invalid experiment parameters.
+var ErrBadParams = errors.New("experiments: invalid parameters")
+
+// Params controls an experiment's scale.
+type Params struct {
+	// Runs is the number of independent replications per point (the paper
+	// uses 10).
+	Runs int
+	// GOPs simulated per run.
+	GOPs int
+	// BaseSeed: replication r of point p uses seed BaseSeed + r.
+	BaseSeed uint64
+	// Config is the scenario configuration; zero value means the paper's
+	// defaults.
+	Config netmodel.Config
+}
+
+// PaperParams returns the evaluation scale of §V: 10 runs, 20 GOPs each,
+// default configuration.
+func PaperParams() Params {
+	return Params{Runs: 10, GOPs: 20, BaseSeed: 1000, Config: netmodel.DefaultConfig()}
+}
+
+// QuickParams returns a reduced scale for smoke tests and CI.
+func QuickParams() Params {
+	return Params{Runs: 2, GOPs: 3, BaseSeed: 1000, Config: netmodel.DefaultConfig()}
+}
+
+func (p Params) validate() error {
+	if p.Runs < 1 {
+		return fmt.Errorf("%w: runs=%d", ErrBadParams, p.Runs)
+	}
+	if p.GOPs < 1 {
+		return fmt.Errorf("%w: GOPs=%d", ErrBadParams, p.GOPs)
+	}
+	return nil
+}
+
+// normalize validates p and substitutes the paper's default configuration
+// when Config was left zero.
+func (p Params) normalize() (Params, error) {
+	if err := p.validate(); err != nil {
+		return p, err
+	}
+	if p.Config.M == 0 {
+		p.Config = netmodel.DefaultConfig()
+	}
+	return p, nil
+}
+
+// schemes lists the three compared schemes in the paper's legend order.
+func schemes() []sim.Scheme {
+	return []sim.Scheme{sim.Proposed, sim.Heuristic1, sim.Heuristic2}
+}
+
+// replicate runs one (network, scheme) point across p.Runs seeds and
+// summarizes the mean PSNR, and the bound PSNR when tracked.
+func replicate(p Params, net *netmodel.Network, scheme sim.Scheme, trackBound bool) (mean, bound stats.Summary, err error) {
+	psnrs := make([]float64, 0, p.Runs)
+	bounds := make([]float64, 0, p.Runs)
+	for r := 0; r < p.Runs; r++ {
+		res, err := sim.Run(net, sim.Options{
+			Seed:       p.BaseSeed + uint64(r),
+			GOPs:       p.GOPs,
+			Scheme:     scheme,
+			TrackBound: trackBound && scheme == sim.Proposed,
+		})
+		if err != nil {
+			return stats.Summary{}, stats.Summary{}, err
+		}
+		psnrs = append(psnrs, res.MeanPSNR)
+		if trackBound && scheme == sim.Proposed {
+			bounds = append(bounds, res.BoundPSNR)
+		}
+	}
+	mean, err = stats.Summarize(psnrs)
+	if err != nil {
+		return stats.Summary{}, stats.Summary{}, err
+	}
+	if len(bounds) > 0 {
+		bound, err = stats.Summarize(bounds)
+		if err != nil {
+			return stats.Summary{}, stats.Summary{}, err
+		}
+	}
+	return mean, bound, nil
+}
+
+// sweep evaluates all schemes over a parameter sweep, building one curve per
+// scheme plus an optional "Upper bound" curve.
+func sweep(p Params, title, xLabel string, xs []float64,
+	build func(p Params, x float64) (*netmodel.Network, error), trackBound bool) (*stats.Figure, error) {
+	p, err := p.normalize()
+	if err != nil {
+		return nil, err
+	}
+	fig := stats.NewFigure(title, xLabel, "Y-PSNR (dB)")
+	var boundSeries *stats.Series
+	if trackBound {
+		boundSeries = stats.NewSeries("Upper bound")
+		fig.Add(boundSeries)
+	}
+	curves := make(map[sim.Scheme]*stats.Series)
+	for _, sch := range schemes() {
+		curves[sch] = stats.NewSeries(sch.String())
+		fig.Add(curves[sch])
+	}
+	for _, x := range xs {
+		net, err := build(p, x)
+		if err != nil {
+			return nil, fmt.Errorf("x=%v: %w", x, err)
+		}
+		for _, sch := range schemes() {
+			mean, bound, err := replicate(p, net, sch, trackBound)
+			if err != nil {
+				return nil, fmt.Errorf("x=%v scheme=%v: %w", x, sch, err)
+			}
+			curves[sch].Append(x, mean)
+			if trackBound && sch == sim.Proposed {
+				boundSeries.Append(x, bound)
+			}
+		}
+	}
+	return fig, nil
+}

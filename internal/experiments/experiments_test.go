@@ -1,0 +1,157 @@
+package experiments
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"femtocr/internal/sim"
+)
+
+func TestParamsValidation(t *testing.T) {
+	if _, err := Fig3(Params{Runs: 0, GOPs: 3}); !errors.Is(err, ErrBadParams) {
+		t.Fatalf("runs=0 err = %v", err)
+	}
+	if _, err := Fig4b(Params{Runs: 2, GOPs: 0}); !errors.Is(err, ErrBadParams) {
+		t.Fatalf("gops=0 err = %v", err)
+	}
+	if _, _, err := Fig4a(QuickParams(), 1, 1); !errors.Is(err, ErrBadParams) {
+		t.Fatalf("iterations=1 err = %v", err)
+	}
+}
+
+func TestFig3Shape(t *testing.T) {
+	fig, err := Fig3(QuickParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Curves) != 3 {
+		t.Fatalf("%d curves, want 3 schemes", len(fig.Curves))
+	}
+	for _, c := range fig.Curves {
+		if c.Len() != 3 {
+			t.Fatalf("curve %q has %d points, want 3 users", c.Name, c.Len())
+		}
+		for i := 0; i < c.Len(); i++ {
+			x, pt := c.At(i)
+			if x != float64(i+1) {
+				t.Fatalf("curve %q x[%d] = %v", c.Name, i, x)
+			}
+			if pt.Mean < 20 || pt.Mean > 50 {
+				t.Fatalf("curve %q PSNR %v implausible", c.Name, pt.Mean)
+			}
+			if pt.N != 2 {
+				t.Fatalf("curve %q N = %d, want 2 runs", c.Name, pt.N)
+			}
+		}
+	}
+	out := fig.Render()
+	for _, want := range []string{"Proposed", "Heuristic 1", "Heuristic 2", "User index"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q", want)
+		}
+	}
+}
+
+func TestFig4aShape(t *testing.T) {
+	fig, trace, err := Fig4a(QuickParams(), 120, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trace) < 100 {
+		t.Fatalf("trace rows = %d", len(trace))
+	}
+	if len(fig.Curves) != 2 {
+		t.Fatalf("curves = %d, want lambda_0 and lambda_1", len(fig.Curves))
+	}
+	// Subsampled: roughly iterations/stride points.
+	if fig.Curves[0].Len() < 10 || fig.Curves[0].Len() > 15 {
+		t.Fatalf("subsampled points = %d", fig.Curves[0].Len())
+	}
+}
+
+func TestFig4bShape(t *testing.T) {
+	fig, err := Fig4b(QuickParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Curves) != 3 {
+		t.Fatalf("curves = %d", len(fig.Curves))
+	}
+	for _, c := range fig.Curves {
+		if c.Len() != 5 {
+			t.Fatalf("curve %q points = %d, want M in {4,6,8,10,12}", c.Name, c.Len())
+		}
+	}
+	if x, _ := fig.Curves[0].At(0); x != 4 {
+		t.Fatalf("first M = %v", x)
+	}
+}
+
+func TestFig6aIncludesBound(t *testing.T) {
+	p := QuickParams()
+	p.GOPs = 2
+	fig, err := Fig6a(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bound := fig.Curve("Upper bound")
+	prop := fig.Curve("Proposed")
+	if bound == nil || prop == nil {
+		t.Fatal("missing curves")
+	}
+	if bound.Len() != prop.Len() {
+		t.Fatalf("bound has %d points, proposed %d", bound.Len(), prop.Len())
+	}
+	for i := 0; i < bound.Len(); i++ {
+		_, b := bound.At(i)
+		_, v := prop.At(i)
+		if b.Mean < v.Mean {
+			t.Fatalf("point %d: bound %v below proposed %v", i, b.Mean, v.Mean)
+		}
+	}
+}
+
+func TestFig6bUsesErrorPairs(t *testing.T) {
+	p := QuickParams()
+	p.GOPs = 2
+	fig, err := Fig6b(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := fig.Curve(sim.Proposed.String())
+	if c.Len() != len(SensingErrorPairs) {
+		t.Fatalf("points = %d, want %d", c.Len(), len(SensingErrorPairs))
+	}
+	for i, pair := range SensingErrorPairs {
+		if x, _ := c.At(i); x != pair[0] {
+			t.Fatalf("x[%d] = %v, want epsilon %v", i, x, pair[0])
+		}
+	}
+}
+
+func TestFig6cSweepsB0(t *testing.T) {
+	p := QuickParams()
+	p.GOPs = 2
+	fig, err := Fig6c(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := fig.Curve(sim.Proposed.String())
+	if c.Len() != 5 {
+		t.Fatalf("points = %d", c.Len())
+	}
+	if x, _ := c.At(0); x != 0.1 {
+		t.Fatalf("first B0 = %v", x)
+	}
+	if x, _ := c.At(4); x != 0.5 {
+		t.Fatalf("last B0 = %v", x)
+	}
+}
+
+func TestPaperParams(t *testing.T) {
+	p := PaperParams()
+	if p.Runs != 10 || p.GOPs != 20 {
+		t.Fatalf("paper scale = %d runs x %d GOPs, want 10 x 20", p.Runs, p.GOPs)
+	}
+}

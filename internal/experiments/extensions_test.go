@@ -1,0 +1,176 @@
+package experiments
+
+import "testing"
+
+func TestGammaTradeoffShape(t *testing.T) {
+	p := QuickParams()
+	p.Runs = 3
+	p.GOPs = 20
+	fig, err := GammaTradeoff(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	psnr := fig.Curve("Proposed Y-PSNR (dB)")
+	coll := fig.Curve("Realized collision rate")
+	if psnr == nil || coll == nil || psnr.Len() != 5 {
+		t.Fatal("curves malformed")
+	}
+	// Quality must grow with the collision budget.
+	_, lo := psnr.At(0)
+	_, hi := psnr.At(psnr.Len() - 1)
+	if hi.Mean <= lo.Mean {
+		t.Fatalf("quality did not grow with gamma: %v -> %v", lo.Mean, hi.Mean)
+	}
+	// Realized collisions must respect the budget (with sampling slack) and
+	// grow with it.
+	for i := 0; i < coll.Len(); i++ {
+		gamma, c := coll.At(i)
+		if c.Mean > gamma+0.08 {
+			t.Fatalf("gamma=%v: realized collision %v far above budget", gamma, c.Mean)
+		}
+	}
+	_, cLo := coll.At(0)
+	_, cHi := coll.At(coll.Len() - 1)
+	if cHi.Mean <= cLo.Mean {
+		t.Fatalf("collision rate did not grow with gamma: %v -> %v", cLo.Mean, cHi.Mean)
+	}
+}
+
+func TestScalabilityGrows(t *testing.T) {
+	p := QuickParams()
+	p.Runs = 2
+	p.GOPs = 2
+	pts, err := Scalability(p, []int{2, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	if pts[0].NumFBS != 2 || pts[0].Users != 6 {
+		t.Fatalf("first point %+v", pts[0])
+	}
+	if pts[1].Users != 12 {
+		t.Fatalf("second point users = %d", pts[1].Users)
+	}
+	for _, pt := range pts {
+		if pt.Proposed.Mean < 25 || pt.Proposed.Mean > 45 {
+			t.Fatalf("N=%d proposed %v implausible", pt.NumFBS, pt.Proposed.Mean)
+		}
+		if pt.BoundGapDB < -0.2 {
+			t.Fatalf("N=%d bound below proposed by %v", pt.NumFBS, pt.BoundGapDB)
+		}
+		if pt.Elapsed <= 0 {
+			t.Fatal("elapsed not recorded")
+		}
+	}
+}
+
+func TestExtensionsValidation(t *testing.T) {
+	bad := Params{}
+	if _, err := GammaTradeoff(bad); err == nil {
+		t.Fatal("bad params accepted")
+	}
+	if _, err := Scalability(bad, nil); err == nil {
+		t.Fatal("bad params accepted")
+	}
+}
+
+func TestEngineComparisonTracks(t *testing.T) {
+	p := QuickParams()
+	p.Runs = 3
+	p.GOPs = 8
+	fig, err := EngineComparison(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rate := fig.Curve("Rate-based engine")
+	pkt := fig.Curve("Packet-level engine")
+	if rate == nil || pkt == nil || rate.Len() != 3 || pkt.Len() != 3 {
+		t.Fatal("curves malformed")
+	}
+	for i := 0; i < 3; i++ {
+		_, r := rate.At(i)
+		_, k := pkt.At(i)
+		gap := r.Mean - k.Mean
+		if gap < 0 {
+			gap = -gap
+		}
+		if gap > 2.5 {
+			t.Fatalf("scheme %d: engines diverge by %v dB", i+1, gap)
+		}
+	}
+}
+
+func TestDeadlineSweepShape(t *testing.T) {
+	p := QuickParams()
+	p.Runs = 3
+	p.GOPs = 10
+	fig, err := DeadlineSweep(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := fig.Curve("Proposed")
+	if c == nil || c.Len() != 4 {
+		t.Fatal("curve malformed")
+	}
+	// Finer scheduling (larger T) must not hurt: the T=20 point should be at
+	// least as good as T=2 (more decisions per GOP average out bad slots).
+	_, coarse := c.At(0)
+	_, fine := c.At(c.Len() - 1)
+	if fine.Mean < coarse.Mean-0.3 {
+		t.Fatalf("finer deadline %v clearly below coarser %v", fine.Mean, coarse.Mean)
+	}
+}
+
+func TestUserCapacityShape(t *testing.T) {
+	p := QuickParams()
+	p.Runs = 2
+	p.GOPs = 8
+	fig, err := UserCapacity(p, []int{1, 3, 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mean := fig.Curve("Proposed mean")
+	worst := fig.Curve("Proposed worst user")
+	if mean == nil || worst == nil || mean.Len() != 3 {
+		t.Fatal("curves malformed")
+	}
+	// More users sharing the same spectrum: mean quality must not rise.
+	_, one := mean.At(0)
+	_, six := mean.At(2)
+	if six.Mean > one.Mean+0.2 {
+		t.Fatalf("quality rose with load: K=1 %v -> K=6 %v", one.Mean, six.Mean)
+	}
+	// Worst user never exceeds the mean.
+	for i := 0; i < mean.Len(); i++ {
+		_, m := mean.At(i)
+		_, w := worst.At(i)
+		if w.Mean > m.Mean+1e-9 {
+			t.Fatalf("point %d: worst %v above mean %v", i, w.Mean, m.Mean)
+		}
+	}
+	if _, err := UserCapacity(p, []int{0}); err == nil {
+		t.Fatal("K=0 accepted")
+	}
+}
+
+func TestSchemeFrontierShape(t *testing.T) {
+	p := QuickParams()
+	p.Runs = 2
+	p.GOPs = 6
+	fig, err := SchemeFrontier(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mean := fig.Curve("Mean Y-PSNR (dB)")
+	fair := fig.Curve("Jain fairness of gains")
+	if mean == nil || fair == nil || mean.Len() != 5 || fair.Len() != 5 {
+		t.Fatal("curves malformed")
+	}
+	for i := 0; i < fair.Len(); i++ {
+		if _, f := fair.At(i); f.Mean < 0 || f.Mean > 1+1e-9 {
+			t.Fatalf("fairness %v out of range", f.Mean)
+		}
+	}
+}

@@ -1,0 +1,243 @@
+package fading
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"femtocr/internal/rng"
+)
+
+func TestDBRoundTrip(t *testing.T) {
+	for _, db := range []float64{-30, -3, 0, 3, 10, 20} {
+		if got := ToDB(FromDB(db)); math.Abs(got-db) > 1e-9 {
+			t.Errorf("round trip %v dB -> %v", db, got)
+		}
+	}
+	if FromDB(0) != 1 {
+		t.Fatal("0 dB must be ratio 1")
+	}
+	if math.Abs(FromDB(3)-1.995) > 0.01 {
+		t.Fatalf("3 dB = %v, want ~2", FromDB(3))
+	}
+}
+
+func TestRayleighOutageCDF(t *testing.T) {
+	r := Rayleigh{}
+	if r.OutageCDF(0) != 0 || r.OutageCDF(-1) != 0 {
+		t.Fatal("CDF below 0 must be 0")
+	}
+	if got := r.OutageCDF(1); math.Abs(got-(1-math.Exp(-1))) > 1e-12 {
+		t.Fatalf("CDF(1) = %v", got)
+	}
+	if got := r.OutageCDF(100); got < 0.999999 {
+		t.Fatalf("CDF(100) = %v, want ~1", got)
+	}
+	if r.Name() != "rayleigh" {
+		t.Fatal("name")
+	}
+}
+
+func TestRayleighPowerGainUnitMean(t *testing.T) {
+	s := rng.New(1)
+	r := Rayleigh{}
+	const n = 200000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += r.PowerGain(s)
+	}
+	if mean := sum / n; math.Abs(mean-1) > 0.02 {
+		t.Fatalf("mean gain %v, want ~1", mean)
+	}
+}
+
+func TestNakagamiValidation(t *testing.T) {
+	if _, err := NewNakagami(0.4); !errors.Is(err, ErrBadModel) {
+		t.Fatalf("m=0.4 err = %v, want ErrBadModel", err)
+	}
+	if _, err := NewNakagami(math.NaN()); !errors.Is(err, ErrBadModel) {
+		t.Fatal("NaN m accepted")
+	}
+	n, err := NewNakagami(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.M() != 2 || n.Name() != "nakagami-2" {
+		t.Fatalf("M=%v Name=%q", n.M(), n.Name())
+	}
+}
+
+func TestNakagami1MatchesRayleigh(t *testing.T) {
+	n, err := NewNakagami(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := Rayleigh{}
+	for _, x := range []float64{0.1, 0.5, 1, 2, 5} {
+		if got, want := n.OutageCDF(x), r.OutageCDF(x); math.Abs(got-want) > 1e-10 {
+			t.Errorf("Nakagami-1 CDF(%v) = %v, Rayleigh = %v", x, got, want)
+		}
+	}
+}
+
+func TestNakagamiPowerGainUnitMean(t *testing.T) {
+	for _, m := range []float64{0.5, 1, 2.5, 8} {
+		n, err := NewNakagami(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := rng.New(uint64(m * 100))
+		const trials = 200000
+		sum := 0.0
+		for i := 0; i < trials; i++ {
+			sum += n.PowerGain(s)
+		}
+		if mean := sum / trials; math.Abs(mean-1) > 0.03 {
+			t.Fatalf("Nakagami-%v mean gain %v, want ~1", m, mean)
+		}
+	}
+}
+
+func TestNakagamiEmpiricalCDFMatchesAnalytic(t *testing.T) {
+	n, err := NewNakagami(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := rng.New(77)
+	const trials = 100000
+	const x = 0.7
+	below := 0
+	for i := 0; i < trials; i++ {
+		if n.PowerGain(s) <= x {
+			below++
+		}
+	}
+	emp := float64(below) / trials
+	if want := n.OutageCDF(x); math.Abs(emp-want) > 0.01 {
+		t.Fatalf("empirical CDF(%v) = %v, analytic %v", x, emp, want)
+	}
+}
+
+func TestLinkValidation(t *testing.T) {
+	if _, err := NewLink(math.NaN(), 5, nil); !errors.Is(err, ErrBadLink) {
+		t.Fatal("NaN mean SINR accepted")
+	}
+	if _, err := NewLink(10, math.Inf(1), nil); !errors.Is(err, ErrBadLink) {
+		t.Fatal("Inf threshold accepted")
+	}
+	l, err := NewLink(10, 5, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Model().Name() != "rayleigh" {
+		t.Fatal("nil model must default to Rayleigh")
+	}
+	if math.Abs(l.MeanSINRdB()-10) > 1e-9 || math.Abs(l.ThresholdDB()-5) > 1e-9 {
+		t.Fatalf("accessors: %v dB, %v dB", l.MeanSINRdB(), l.ThresholdDB())
+	}
+}
+
+// TestLossProbabilityEquation8: for Rayleigh, P_F = 1 - exp(-H/meanSINR).
+func TestLossProbabilityEquation8(t *testing.T) {
+	l, err := NewLink(10, 5, Rayleigh{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 1 - math.Exp(-FromDB(5)/FromDB(10))
+	if got := l.LossProbability(); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("P_F = %v, want %v", got, want)
+	}
+	if got := l.SuccessProbability(); math.Abs(got-(1-want)) > 1e-12 {
+		t.Fatalf("success = %v", got)
+	}
+}
+
+// TestLossProbabilityMonotonicity: stronger links lose fewer packets and a
+// higher threshold loses more, for any fading model.
+func TestLossProbabilityMonotonicity(t *testing.T) {
+	err := quick.Check(func(sinrDeci, hDeci int16) bool {
+		sinr := float64(sinrDeci%300) / 10 // -30..30 dB
+		h := float64(hDeci%200) / 10       // -20..20 dB
+		l1, err := NewLink(sinr, h, nil)
+		if err != nil {
+			return false
+		}
+		l2, err := NewLink(sinr+3, h, nil)
+		if err != nil {
+			return false
+		}
+		l3, err := NewLink(sinr, h+3, nil)
+		if err != nil {
+			return false
+		}
+		p1, p2, p3 := l1.LossProbability(), l2.LossProbability(), l3.LossProbability()
+		inRange := p1 >= 0 && p1 <= 1
+		return inRange && p2 <= p1+1e-12 && p3 >= p1-1e-12
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSampleLossMatchesAnalytic: realized loss frequency matches eq. (8).
+func TestSampleLossMatchesAnalytic(t *testing.T) {
+	l, err := NewLink(8, 5, Rayleigh{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := rng.New(5)
+	const n = 200000
+	lost := 0
+	for i := 0; i < n; i++ {
+		if l.Lost(s) {
+			lost++
+		}
+	}
+	got := float64(lost) / n
+	if want := l.LossProbability(); math.Abs(got-want) > 0.005 {
+		t.Fatalf("realized loss %v, analytic %v", got, want)
+	}
+}
+
+func TestPathLossModel(t *testing.T) {
+	pl := PathLoss{RefLossDB: 37, Exponent: 3, RefDist: 1}
+	if got := pl.LossDB(1); got != 37 {
+		t.Fatalf("loss at ref distance = %v, want 37", got)
+	}
+	if got := pl.LossDB(10); math.Abs(got-67) > 1e-9 {
+		t.Fatalf("loss at 10 m = %v, want 67", got)
+	}
+	// Inside the reference distance, clamp.
+	if got := pl.LossDB(0.1); got != 37 {
+		t.Fatalf("loss inside ref distance = %v, want clamped 37", got)
+	}
+	// Monotone in distance.
+	if pl.LossDB(20) <= pl.LossDB(10) {
+		t.Fatal("path loss must increase with distance")
+	}
+}
+
+func TestMeanSINRAndLinkAt(t *testing.T) {
+	pl := DefaultPathLoss
+	// 10 dBm tx, -90 dBm noise floor, 10 m: SINR = 10 - 67 - (-90) = 33 dB.
+	got := MeanSINRdB(10, -90, pl, 10)
+	if math.Abs(got-33) > 1e-9 {
+		t.Fatalf("MeanSINRdB = %v, want 33", got)
+	}
+	l, err := LinkAt(10, -90, 5, pl, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(l.MeanSINRdB()-33) > 1e-9 {
+		t.Fatalf("LinkAt mean SINR = %v", l.MeanSINRdB())
+	}
+	// Farther receivers see higher loss probability.
+	far, err := LinkAt(10, -90, 5, pl, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if far.LossProbability() <= l.LossProbability() {
+		t.Fatal("farther link must lose more packets")
+	}
+}

@@ -1,0 +1,62 @@
+package fading
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzRegularizedGamma hunts for parameter pairs where the two evaluation
+// branches disagree, the complement identity breaks, or the result leaves
+// [0, 1].
+func FuzzRegularizedGamma(f *testing.F) {
+	f.Add(1.0, 1.0)
+	f.Add(0.5, 10.0)
+	f.Add(25.0, 24.0)
+	f.Add(3.0, 0.001)
+	f.Fuzz(func(t *testing.T, a, x float64) {
+		if math.IsNaN(a) || math.IsNaN(x) || math.IsInf(a, 0) || math.IsInf(x, 0) {
+			return
+		}
+		if a <= 0 || a > 500 || x < 0 || x > 1e6 {
+			return
+		}
+		p := RegularizedGammaP(a, x)
+		q := RegularizedGammaQ(a, x)
+		if math.IsNaN(p) || p < -1e-12 || p > 1+1e-12 {
+			t.Fatalf("P(%v, %v) = %v out of range", a, x, p)
+		}
+		if math.Abs(p+q-1) > 1e-9 {
+			t.Fatalf("P+Q = %v at (%v, %v)", p+q, a, x)
+		}
+		// Monotonicity in x over a small step.
+		if x > 1e-6 {
+			if p2 := RegularizedGammaP(a, x*1.01); p2+1e-9 < p {
+				t.Fatalf("P not monotone at (%v, %v): %v -> %v", a, x, p, p2)
+			}
+		}
+	})
+}
+
+// FuzzLink checks the packet-loss probability stays a probability for any
+// finite link geometry.
+func FuzzLink(f *testing.F) {
+	f.Add(10.0, 5.0)
+	f.Add(-20.0, 30.0)
+	f.Add(60.0, -10.0)
+	f.Fuzz(func(t *testing.T, sinrDB, hDB float64) {
+		if math.IsNaN(sinrDB) || math.IsInf(sinrDB, 0) || math.IsNaN(hDB) || math.IsInf(hDB, 0) {
+			return
+		}
+		if sinrDB < -100 || sinrDB > 100 || hDB < -100 || hDB > 100 {
+			return
+		}
+		l, err := NewLink(sinrDB, hDB, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := l.LossProbability()
+		if math.IsNaN(p) || p < 0 || p > 1 {
+			t.Fatalf("loss probability %v for SINR %v dB, H %v dB", p, sinrDB, hDB)
+		}
+	})
+}

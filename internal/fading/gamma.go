@@ -1,0 +1,129 @@
+package fading
+
+import (
+	"math"
+
+	"femtocr/internal/rng"
+)
+
+// RegularizedGammaP computes the regularized lower incomplete gamma function
+// P(a, x) = gamma(a, x) / Gamma(a) for a > 0, x >= 0, using the series
+// expansion for x < a+1 and the Lentz continued fraction for the complement
+// otherwise (Numerical Recipes §6.2). Accuracy is ~1e-14 over the parameter
+// range used by Nakagami fading (a in [0.5, ~50]).
+func RegularizedGammaP(a, x float64) float64 {
+	switch {
+	case math.IsNaN(a) || math.IsNaN(x) || a <= 0 || x < 0:
+		return math.NaN()
+	case x == 0:
+		return 0
+	case math.IsInf(x, 1):
+		return 1
+	case x < a+1:
+		return gammaPSeries(a, x)
+	default:
+		return 1 - gammaQContinuedFraction(a, x)
+	}
+}
+
+// RegularizedGammaQ computes the upper complement Q(a, x) = 1 - P(a, x).
+func RegularizedGammaQ(a, x float64) float64 {
+	switch {
+	case math.IsNaN(a) || math.IsNaN(x) || a <= 0 || x < 0:
+		return math.NaN()
+	case x == 0:
+		return 1
+	case math.IsInf(x, 1):
+		return 0
+	case x < a+1:
+		return 1 - gammaPSeries(a, x)
+	default:
+		return gammaQContinuedFraction(a, x)
+	}
+}
+
+const (
+	gammaMaxIter = 500
+	gammaEps     = 1e-15
+)
+
+// gammaPSeries evaluates P(a, x) by its power series, convergent for
+// x < a+1.
+func gammaPSeries(a, x float64) float64 {
+	lg, _ := math.Lgamma(a)
+	ap := a
+	sum := 1 / a
+	del := sum
+	for i := 0; i < gammaMaxIter; i++ {
+		ap++
+		del *= x / ap
+		sum += del
+		if math.Abs(del) < math.Abs(sum)*gammaEps {
+			break
+		}
+	}
+	return sum * math.Exp(-x+a*math.Log(x)-lg)
+}
+
+// gammaQContinuedFraction evaluates Q(a, x) by the modified Lentz method,
+// convergent for x >= a+1.
+func gammaQContinuedFraction(a, x float64) float64 {
+	lg, _ := math.Lgamma(a)
+	const tiny = 1e-300
+	b := x + 1 - a
+	c := 1 / tiny
+	d := 1 / b
+	h := d
+	for i := 1; i <= gammaMaxIter; i++ {
+		an := -float64(i) * (float64(i) - a)
+		b += 2
+		d = an*d + b
+		if math.Abs(d) < tiny {
+			d = tiny
+		}
+		c = b + an/c
+		if math.Abs(c) < tiny {
+			c = tiny
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < gammaEps {
+			break
+		}
+	}
+	return math.Exp(-x+a*math.Log(x)-lg) * h
+}
+
+// sampleGamma draws a Gamma(shape, scale 1) variate using the
+// Marsaglia-Tsang squeeze method, with the standard boost for shape < 1.
+func sampleGamma(shape float64, s *rng.Stream) float64 {
+	if shape < 1 {
+		// Gamma(a) = Gamma(a+1) * U^{1/a}.
+		u := s.Float64()
+		for u == 0 {
+			u = s.Float64()
+		}
+		return sampleGamma(shape+1, s) * math.Pow(u, 1/shape)
+	}
+	d := shape - 1.0/3.0
+	c := 1 / math.Sqrt(9*d)
+	for {
+		var x, v float64
+		for {
+			x = s.Normal(0, 1)
+			v = 1 + c*x
+			if v > 0 {
+				break
+			}
+		}
+		v = v * v * v
+		u := s.Float64()
+		if u < 1-0.0331*x*x*x*x {
+			return d * v
+		}
+		if u > 0 && math.Log(u) < 0.5*x*x+d*(1-v+math.Log(v)) {
+			return d * v
+		}
+	}
+}

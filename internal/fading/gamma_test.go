@@ -1,0 +1,106 @@
+package fading
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// TestRegularizedGammaKnownValues cross-checks against closed forms:
+// P(1, x) = 1 - e^{-x} and P(1/2, x) = erf(sqrt(x)).
+func TestRegularizedGammaKnownValues(t *testing.T) {
+	for _, x := range []float64{0.01, 0.1, 0.5, 1, 2, 5, 10, 30} {
+		if got, want := RegularizedGammaP(1, x), 1-math.Exp(-x); math.Abs(got-want) > 1e-12 {
+			t.Errorf("P(1, %v) = %v, want %v", x, got, want)
+		}
+		if got, want := RegularizedGammaP(0.5, x), math.Erf(math.Sqrt(x)); math.Abs(got-want) > 1e-12 {
+			t.Errorf("P(0.5, %v) = %v, want %v", x, got, want)
+		}
+	}
+}
+
+// TestRegularizedGammaPoisson: for integer a, Q(a, x) equals the Poisson CDF
+// sum_{k<a} e^{-x} x^k / k!.
+func TestRegularizedGammaPoisson(t *testing.T) {
+	for _, a := range []int{1, 2, 3, 5, 8} {
+		for _, x := range []float64{0.5, 1, 3, 7, 12} {
+			sum := 0.0
+			term := math.Exp(-x)
+			for k := 0; k < a; k++ {
+				if k > 0 {
+					term *= x / float64(k)
+				}
+				sum += term
+			}
+			if got := RegularizedGammaQ(float64(a), x); math.Abs(got-sum) > 1e-10 {
+				t.Errorf("Q(%d, %v) = %v, want Poisson sum %v", a, x, got, sum)
+			}
+		}
+	}
+}
+
+func TestRegularizedGammaEdges(t *testing.T) {
+	if RegularizedGammaP(2, 0) != 0 {
+		t.Fatal("P(a, 0) != 0")
+	}
+	if RegularizedGammaQ(2, 0) != 1 {
+		t.Fatal("Q(a, 0) != 1")
+	}
+	if RegularizedGammaP(2, math.Inf(1)) != 1 {
+		t.Fatal("P(a, inf) != 1")
+	}
+	if RegularizedGammaQ(2, math.Inf(1)) != 0 {
+		t.Fatal("Q(a, inf) != 0")
+	}
+	for _, bad := range []struct{ a, x float64 }{
+		{0, 1}, {-1, 1}, {1, -0.5}, {math.NaN(), 1}, {1, math.NaN()},
+	} {
+		if !math.IsNaN(RegularizedGammaP(bad.a, bad.x)) {
+			t.Errorf("P(%v, %v) should be NaN", bad.a, bad.x)
+		}
+		if !math.IsNaN(RegularizedGammaQ(bad.a, bad.x)) {
+			t.Errorf("Q(%v, %v) should be NaN", bad.a, bad.x)
+		}
+	}
+}
+
+// TestGammaPQComplement: P + Q = 1 across both evaluation branches.
+func TestGammaPQComplement(t *testing.T) {
+	err := quick.Check(func(aDeci, xDeci uint16) bool {
+		a := float64(aDeci%400+5) / 10 // 0.5 .. 40.4
+		x := float64(xDeci%1000) / 10  // 0 .. 99.9
+		p := RegularizedGammaP(a, x)
+		q := RegularizedGammaQ(a, x)
+		return p >= 0 && p <= 1 && math.Abs(p+q-1) < 1e-12
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestGammaPMonotoneInX: P(a, .) is a CDF, hence nondecreasing.
+func TestGammaPMonotoneInX(t *testing.T) {
+	for _, a := range []float64{0.5, 1, 2.3, 7, 20} {
+		prev := 0.0
+		for x := 0.0; x <= 60; x += 0.5 {
+			cur := RegularizedGammaP(a, x)
+			if cur+1e-12 < prev {
+				t.Fatalf("P(%v, %v) = %v decreased from %v", a, x, cur, prev)
+			}
+			prev = cur
+		}
+	}
+}
+
+// TestGammaMedianApproximation: the median of Gamma(a, 1) is about
+// a - 1/3 for large a, so P(a, a) > 1/2 > P(a, a - 1).
+func TestGammaMedianApproximation(t *testing.T) {
+	for _, a := range []float64{5, 10, 25} {
+		if RegularizedGammaP(a, a) <= 0.5 {
+			t.Errorf("P(%v, %v) should exceed 1/2", a, a)
+		}
+		if RegularizedGammaP(a, a-1) >= 0.5 {
+			t.Errorf("P(%v, %v) should be below 1/2", a, a-1)
+		}
+	}
+}

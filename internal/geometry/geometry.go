@@ -1,0 +1,124 @@
+// Package geometry provides the 2-D spatial substrate for deployment
+// scenarios: positions of base stations and users, coverage disks, and the
+// overlap tests from which interference graphs are derived (paper Fig. 1,
+// Fig. 2, and Fig. 5).
+package geometry
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"femtocr/internal/rng"
+)
+
+// ErrBadRadius is returned for non-positive coverage radii.
+var ErrBadRadius = errors.New("geometry: radius must be positive")
+
+// Point is a location in meters.
+type Point struct {
+	X, Y float64
+}
+
+// Dist returns the Euclidean distance to q.
+func (p Point) Dist(q Point) float64 {
+	return math.Hypot(p.X-q.X, p.Y-q.Y)
+}
+
+// Add returns p translated by q.
+func (p Point) Add(q Point) Point { return Point{p.X + q.X, p.Y + q.Y} }
+
+// String formats the point.
+func (p Point) String() string { return fmt.Sprintf("(%.1f, %.1f)", p.X, p.Y) }
+
+// Disk is a coverage area: a femtocell's service region.
+type Disk struct {
+	Center Point
+	Radius float64
+}
+
+// NewDisk validates and builds a Disk.
+func NewDisk(center Point, radius float64) (Disk, error) {
+	if radius <= 0 || math.IsNaN(radius) {
+		return Disk{}, fmt.Errorf("%w: %v", ErrBadRadius, radius)
+	}
+	return Disk{Center: center, Radius: radius}, nil
+}
+
+// Contains reports whether q lies inside the disk (boundary inclusive).
+func (d Disk) Contains(q Point) bool {
+	return d.Center.Dist(q) <= d.Radius
+}
+
+// Overlaps reports whether two coverage disks intersect. Two FBSs with
+// overlapping coverage interfere and become adjacent in the interference
+// graph (paper Definition 1 and Lemma 4).
+func (d Disk) Overlaps(o Disk) bool {
+	return d.Center.Dist(o.Center) < d.Radius+o.Radius
+}
+
+// RandomInside draws a point uniformly inside the disk.
+func (d Disk) RandomInside(s *rng.Stream) Point {
+	// Uniform over the disk via sqrt-radius sampling.
+	r := d.Radius * math.Sqrt(s.Float64())
+	theta := 2 * math.Pi * s.Float64()
+	return Point{
+		X: d.Center.X + r*math.Cos(theta),
+		Y: d.Center.Y + r*math.Sin(theta),
+	}
+}
+
+// LineDeployment places n disks of the given radius with centers spacing
+// meters apart along the x-axis starting at origin. With spacing < 2*radius
+// neighbouring femtocells overlap — the paper's interfering scenario (FBS 1
+// overlaps FBS 2 overlaps FBS 3, but FBS 1 and 3 do not).
+func LineDeployment(origin Point, n int, spacing, radius float64) ([]Disk, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("geometry: negative deployment size %d", n)
+	}
+	disks := make([]Disk, 0, n)
+	for i := 0; i < n; i++ {
+		d, err := NewDisk(Point{X: origin.X + float64(i)*spacing, Y: origin.Y}, radius)
+		if err != nil {
+			return nil, err
+		}
+		disks = append(disks, d)
+	}
+	return disks, nil
+}
+
+// GridDeployment places disks on a rows x cols grid with the given spacing.
+func GridDeployment(origin Point, rows, cols int, spacing, radius float64) ([]Disk, error) {
+	if rows < 0 || cols < 0 {
+		return nil, fmt.Errorf("geometry: negative grid %dx%d", rows, cols)
+	}
+	disks := make([]Disk, 0, rows*cols)
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			d, err := NewDisk(Point{
+				X: origin.X + float64(c)*spacing,
+				Y: origin.Y + float64(r)*spacing,
+			}, radius)
+			if err != nil {
+				return nil, err
+			}
+			disks = append(disks, d)
+		}
+	}
+	return disks, nil
+}
+
+// ScatterUsers draws k user positions uniformly inside each disk and returns
+// them grouped per disk.
+func ScatterUsers(disks []Disk, perDisk int, s *rng.Stream) [][]Point {
+	out := make([][]Point, len(disks))
+	for i, d := range disks {
+		stream := s.SplitIndex("geometry/users", i)
+		pts := make([]Point, perDisk)
+		for j := range pts {
+			pts[j] = d.RandomInside(stream)
+		}
+		out[i] = pts
+	}
+	return out
+}

@@ -1,0 +1,378 @@
+// Package netmodel assembles the paper's femtocell CR network (§III-A,
+// Fig. 1): one MBS on the common channel, N FBSs opportunistically using M
+// licensed channels, and K CR users each associated with the nearest FBS and
+// streaming one MGS video. It provides the deployment scenarios used in the
+// evaluation (§V): a single FBS, multiple non-interfering FBSs, and the
+// three-FBS interfering path of Fig. 5.
+package netmodel
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"femtocr/internal/fading"
+	"femtocr/internal/geometry"
+	"femtocr/internal/igraph"
+	"femtocr/internal/markov"
+	"femtocr/internal/ofdm"
+	"femtocr/internal/rng"
+	"femtocr/internal/sensing"
+	"femtocr/internal/spectrum"
+	"femtocr/internal/video"
+)
+
+// ErrBadNetwork is returned when a network fails validation.
+var ErrBadNetwork = errors.New("netmodel: invalid network")
+
+// User is one CR subscriber: a position, a serving FBS, a video stream, and
+// the two wireless links it can receive on.
+type User struct {
+	ID      int // global index, 0-based
+	FBS     int // serving femtocell, 1-based
+	Pos     geometry.Point
+	Seq     video.Sequence
+	MBSLink fading.Link // downlink from the MBS on the common channel
+	FBSLink fading.Link // downlink from the serving FBS on licensed channels
+}
+
+// Network is a fully specified femtocell CR network scenario.
+type Network struct {
+	Band     *spectrum.Band
+	NumFBS   int
+	Graph    *igraph.Graph // interference graph over the FBSs
+	Users    []User
+	Gamma    float64          // collision threshold of eq. (6)
+	Detector sensing.Detector // sensing error model shared by sensors
+	T        int              // GOP delivery deadline in slots
+	GOPSize  int              // frames per GOP (16 in the paper)
+	// FBSAntennas is how many licensed channels each FBS can sense per
+	// slot. The paper equips FBSs with M antennas (sense everything);
+	// values below M rotate coverage across slots. 0 means M.
+	FBSAntennas int
+}
+
+// Validate checks structural consistency.
+func (n *Network) Validate() error {
+	if n.Band == nil {
+		return fmt.Errorf("%w: nil band", ErrBadNetwork)
+	}
+	if n.NumFBS < 1 {
+		return fmt.Errorf("%w: %d FBSs", ErrBadNetwork, n.NumFBS)
+	}
+	if n.Graph == nil || n.Graph.N() != n.NumFBS {
+		return fmt.Errorf("%w: interference graph does not match %d FBSs", ErrBadNetwork, n.NumFBS)
+	}
+	if len(n.Users) == 0 {
+		return fmt.Errorf("%w: no users", ErrBadNetwork)
+	}
+	for _, u := range n.Users {
+		if u.FBS < 1 || u.FBS > n.NumFBS {
+			return fmt.Errorf("%w: user %d served by FBS %d of %d", ErrBadNetwork, u.ID, u.FBS, n.NumFBS)
+		}
+		if err := u.Seq.RD.Validate(); err != nil {
+			return fmt.Errorf("user %d: %w", u.ID, err)
+		}
+	}
+	if n.Gamma < 0 || n.Gamma > 1 {
+		return fmt.Errorf("%w: gamma=%v", ErrBadNetwork, n.Gamma)
+	}
+	if n.T < 1 {
+		return fmt.Errorf("%w: deadline T=%d", ErrBadNetwork, n.T)
+	}
+	if n.GOPSize < 1 {
+		return fmt.Errorf("%w: GOP size %d", ErrBadNetwork, n.GOPSize)
+	}
+	if n.FBSAntennas < 0 || n.FBSAntennas > n.Band.M() {
+		return fmt.Errorf("%w: %d FBS antennas for %d channels", ErrBadNetwork, n.FBSAntennas, n.Band.M())
+	}
+	return nil
+}
+
+// AntennasPerFBS returns the effective per-FBS antenna count (M when the
+// field is zero).
+func (n *Network) AntennasPerFBS() int {
+	if n.FBSAntennas == 0 {
+		return n.Band.M()
+	}
+	return n.FBSAntennas
+}
+
+// K returns the number of users.
+func (n *Network) K() int { return len(n.Users) }
+
+// UsersOf returns the users served by FBS i (1-based).
+func (n *Network) UsersOf(i int) []User {
+	var out []User
+	for _, u := range n.Users {
+		if u.FBS == i {
+			out = append(out, u)
+		}
+	}
+	return out
+}
+
+// Config collects the scenario parameters of §V with the paper's defaults.
+type Config struct {
+	M     int     // licensed channels
+	B0    float64 // common-channel capacity, Mbps
+	B1    float64 // licensed-channel capacity, Mbps
+	P01   float64 // idle-to-busy transition probability
+	P10   float64 // busy-to-idle transition probability
+	Gamma float64 // collision threshold
+	Eps   float64 // sensing false-alarm probability
+	Delta float64 // sensing miss-detection probability
+	T     int     // GOP delivery deadline, slots
+	GOP   int     // GOP size, frames
+
+	// Radio model. Links are calibrated by the mean SINR a user sees at
+	// the nominal distance, then adjusted per user by log-distance path
+	// loss relative to that nominal distance and by log-normal shadowing.
+	MBSMeanSINRdB float64 // macro link SINR at the cluster distance
+	FBSMeanSINRdB float64 // femto link SINR at 0.7x the coverage radius
+	ThresholdDB   float64 // SINR decoding threshold H of eq. (8)
+	ShadowStdDB   float64 // per-link log-normal shadowing, dB
+	PathLossExp   float64 // log-distance path-loss exponent
+	FemtoRadius   float64 // femtocell coverage radius, meters
+	MBSDistance   float64 // distance from the MBS to the femtocell cluster, m
+
+	// FBSAntennas is how many licensed channels each FBS senses per slot;
+	// 0 means all M (the paper's assumption).
+	FBSAntennas int
+
+	// OFDMSubcarriers, when positive, replaces flat Rayleigh links with the
+	// frequency-selective OFDM model of internal/ofdm: that many correlated
+	// subcarriers per channel, packet success by EESM effective SINR.
+	OFDMSubcarriers int
+	// OFDMCorrelation is the adjacent-subcarrier amplitude correlation
+	// (default 0.5 when OFDM is on).
+	OFDMCorrelation float64
+	// OFDMBetaDB is the EESM calibration factor (default 5 dB).
+	OFDMBetaDB float64
+
+	// HeterogeneousEta optionally gives each licensed channel its own
+	// utilization (overriding P01 while keeping P10); its length then
+	// defines M. Nil means all channels share the P01/P10 chain.
+	HeterogeneousEta []float64
+
+	// Seed controls user placement; channel and fading randomness comes
+	// from the per-run stream instead, so positions stay fixed across runs.
+	Seed uint64
+}
+
+// DefaultConfig returns the paper's §V defaults: M=8, P01=0.4, P10=0.3,
+// gamma=0.2, epsilon=delta=0.3, T=10, GOP=16, B0=B1=0.3 Mbps, plus radio
+// parameters giving femto links a clear SINR advantage over the macro link.
+func DefaultConfig() Config {
+	return Config{
+		M:     8,
+		B0:    0.3,
+		B1:    0.3,
+		P01:   0.4,
+		P10:   0.3,
+		Gamma: 0.2,
+		Eps:   0.3,
+		Delta: 0.3,
+		T:     10,
+		GOP:   16,
+
+		MBSMeanSINRdB: 10, // distant macro downlink
+		FBSMeanSINRdB: 16, // short femto downlink
+		ThresholdDB:   5,
+		ShadowStdDB:   6,
+		PathLossExp:   3,
+		FemtoRadius:   12,
+		MBSDistance:   800,
+
+		Seed: 1,
+	}
+}
+
+// Utilization returns the licensed-channel utilization eta implied by the
+// config, eq. (1).
+func (c Config) Utilization() float64 { return c.P01 / (c.P01 + c.P10) }
+
+// WithUtilization returns a copy of the config retuned to the target eta,
+// keeping P10 fixed (the Fig. 4(c)/6(a) sweep).
+func (c Config) WithUtilization(eta float64) (Config, error) {
+	chain, err := markov.FromUtilization(eta, c.P10)
+	if err != nil {
+		return c, err
+	}
+	c.P01 = chain.P01()
+	return c, nil
+}
+
+// build assembles a network from a list of femtocell coverage disks and the
+// per-FBS video lists.
+func build(cfg Config, disks []geometry.Disk, videosPerFBS [][]video.Sequence) (*Network, error) {
+	if len(disks) != len(videosPerFBS) {
+		return nil, fmt.Errorf("%w: %d femtocells but %d video groups", ErrBadNetwork, len(disks), len(videosPerFBS))
+	}
+	var band *spectrum.Band
+	if len(cfg.HeterogeneousEta) > 0 {
+		chains := make([]markov.Chain, len(cfg.HeterogeneousEta))
+		for i, eta := range cfg.HeterogeneousEta {
+			c, err := markov.FromUtilization(eta, cfg.P10)
+			if err != nil {
+				return nil, fmt.Errorf("channel %d: %w", i+1, err)
+			}
+			chains[i] = c
+		}
+		var err error
+		band, err = spectrum.NewHeterogeneousBand(cfg.B0, cfg.B1, chains)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		chain, err := markov.NewChain(cfg.P01, cfg.P10)
+		if err != nil {
+			return nil, err
+		}
+		band, err = spectrum.NewBand(cfg.M, cfg.B0, cfg.B1, chain)
+		if err != nil {
+			return nil, err
+		}
+	}
+	det, err := sensing.NewDetector(cfg.Eps, cfg.Delta)
+	if err != nil {
+		return nil, err
+	}
+
+	placement := rng.New(cfg.Seed).Split("netmodel/placement")
+	mbsPos := geometry.Point{X: -cfg.MBSDistance, Y: 0}
+
+	// Per-user mean SINR: the configured nominal SINR, corrected by
+	// log-distance path loss relative to the nominal distance, plus
+	// log-normal shadowing. Shadowing is drawn from the placement stream so
+	// it is fixed per scenario and varies only with the seed.
+	meanSINR := func(nominal, nominalDist, dist, shadow float64) float64 {
+		if dist < 1 {
+			dist = 1
+		}
+		return nominal - 10*cfg.PathLossExp*math.Log10(dist/nominalDist) + shadow
+	}
+
+	// Optional frequency-selective PHY: one shared OFDM channel profile;
+	// per-link gain models are built at the link's operating SINR.
+	var ofdmChannel *ofdm.Channel
+	if cfg.OFDMSubcarriers > 0 {
+		corr := cfg.OFDMCorrelation
+		if corr == 0 {
+			corr = 0.5
+		}
+		beta := cfg.OFDMBetaDB
+		if beta == 0 {
+			beta = 5
+		}
+		var err error
+		ofdmChannel, err = ofdm.NewChannel(cfg.OFDMSubcarriers, corr, beta)
+		if err != nil {
+			return nil, err
+		}
+	}
+	makeLink := func(sinrDB float64, stream *rng.Stream) (fading.Link, error) {
+		if ofdmChannel == nil {
+			return fading.NewLink(sinrDB, cfg.ThresholdDB, fading.Rayleigh{})
+		}
+		model, err := ofdm.NewGainModel(ofdmChannel, sinrDB, 4000, stream)
+		if err != nil {
+			return fading.Link{}, err
+		}
+		return fading.NewLink(sinrDB, cfg.ThresholdDB, model)
+	}
+
+	var users []User
+	id := 0
+	for i, disk := range disks {
+		stream := placement.SplitIndex("fbs", i)
+		for _, seq := range videosPerFBS[i] {
+			pos := disk.RandomInside(stream)
+			mbsSINR := meanSINR(cfg.MBSMeanSINRdB, cfg.MBSDistance, pos.Dist(mbsPos),
+				stream.Normal(0, cfg.ShadowStdDB))
+			fbsSINR := meanSINR(cfg.FBSMeanSINRdB, 0.7*cfg.FemtoRadius, pos.Dist(disk.Center),
+				stream.Normal(0, cfg.ShadowStdDB))
+			mbsLink, err := makeLink(mbsSINR, stream.SplitIndex("ofdm-mbs", id))
+			if err != nil {
+				return nil, err
+			}
+			fbsLink, err := makeLink(fbsSINR, stream.SplitIndex("ofdm-fbs", id))
+			if err != nil {
+				return nil, err
+			}
+			users = append(users, User{
+				ID:      id,
+				FBS:     i + 1,
+				Pos:     pos,
+				Seq:     seq,
+				MBSLink: mbsLink,
+				FBSLink: fbsLink,
+			})
+			id++
+		}
+	}
+
+	n := &Network{
+		Band:        band,
+		NumFBS:      len(disks),
+		Graph:       igraph.FromCoverage(disks),
+		Users:       users,
+		Gamma:       cfg.Gamma,
+		Detector:    det,
+		T:           cfg.T,
+		GOPSize:     cfg.GOP,
+		FBSAntennas: cfg.FBSAntennas,
+	}
+	if err := n.Validate(); err != nil {
+		return nil, err
+	}
+	return n, nil
+}
+
+// SingleFBS builds the paper's first scenario: one FBS streaming one video
+// per user (Bus, Mobile, Harbor to three users by default).
+func SingleFBS(cfg Config, videos []video.Sequence) (*Network, error) {
+	disk, err := geometry.NewDisk(geometry.Point{}, cfg.FemtoRadius)
+	if err != nil {
+		return nil, err
+	}
+	return build(cfg, []geometry.Disk{disk}, [][]video.Sequence{videos})
+}
+
+// NonInterfering builds N femtocells spaced far apart (no coverage overlap),
+// the Table II case: the interference graph is edgeless.
+func NonInterfering(cfg Config, videosPerFBS [][]video.Sequence) (*Network, error) {
+	n := len(videosPerFBS)
+	disks, err := geometry.LineDeployment(geometry.Point{}, n, 4*cfg.FemtoRadius, cfg.FemtoRadius)
+	if err != nil {
+		return nil, err
+	}
+	return build(cfg, disks, videosPerFBS)
+}
+
+// InterferingPath builds the §V-B scenario: N femtocells on a line with
+// adjacent coverage overlap, so the interference graph is the path of
+// Fig. 5 (FBS 1 - FBS 2 - FBS 3 for N=3).
+func InterferingPath(cfg Config, videosPerFBS [][]video.Sequence) (*Network, error) {
+	n := len(videosPerFBS)
+	disks, err := geometry.LineDeployment(geometry.Point{}, n, 1.5*cfg.FemtoRadius, cfg.FemtoRadius)
+	if err != nil {
+		return nil, err
+	}
+	return build(cfg, disks, videosPerFBS)
+}
+
+// PaperSingleFBS is the exact single-FBS scenario of §V-A: three users
+// receiving Bus, Mobile and Harbor.
+func PaperSingleFBS(cfg Config) (*Network, error) {
+	trio := video.PaperTrio()
+	return SingleFBS(cfg, trio[:])
+}
+
+// PaperInterfering is the exact interfering scenario of §V-B: three FBSs in
+// a path, three users each, each FBS streaming three different videos.
+func PaperInterfering(cfg Config) (*Network, error) {
+	trio := video.PaperTrio()
+	groups := [][]video.Sequence{trio[:], trio[:], trio[:]}
+	return InterferingPath(cfg, groups)
+}

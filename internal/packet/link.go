@@ -1,0 +1,72 @@
+package packet
+
+// Transmitter drains a queue within a per-slot byte budget, modelling the
+// transmission and acknowledgment phases of one time slot. NAL units larger
+// than one slot's budget are fragmented at the byte level (as a MAC layer
+// would); a unit is delivered once all of its bytes have been acknowledged.
+// Under block fading the whole slot fades together, so a lost slot wastes
+// the attempt and the same fragment is retransmitted in the next slot.
+
+// SlotReport accounts one user's slot.
+type SlotReport struct {
+	// Sent counts fragment transmissions this slot.
+	Sent int
+	// Delivered counts packets fully acknowledged this slot.
+	Delivered int
+	// DeliveredBytes is the payload acknowledged this slot.
+	DeliveredBytes int
+	// Retransmissions counts fragment sends that repeat data whose previous
+	// transmission was lost.
+	Retransmissions int
+}
+
+// TransmitSlot sends bytes from q in significance order until the budget is
+// exhausted, returning the report and the packets completed this slot.
+// lost reports the slot-level erasure: the first fragment attempt is wasted
+// and nothing progresses (block fading erases the entire slot, so sending
+// more would waste energy for no progress).
+func TransmitSlot(q *Queue, budgetBytes int, lost bool) (SlotReport, []*Packet, error) {
+	var rep SlotReport
+	if budgetBytes <= 0 || q.Len() == 0 {
+		return rep, nil, nil
+	}
+	if lost {
+		head := q.Peek()
+		head.Attempts++
+		head.retry = true
+		rep.Sent++
+		return rep, nil, nil
+	}
+	var delivered []*Packet
+	remaining := budgetBytes
+	for remaining > 0 {
+		head := q.Peek()
+		if head == nil {
+			break
+		}
+		need := head.Unit.SizeBytes - head.SentBytes
+		if need > 0 {
+			tx := need
+			if tx > remaining {
+				tx = remaining
+			}
+			head.Attempts++
+			if head.retry {
+				rep.Retransmissions++
+				head.retry = false
+			}
+			rep.Sent++
+			head.SentBytes += tx
+			remaining -= tx
+			if head.SentBytes < head.Unit.SizeBytes {
+				break // budget exhausted mid-packet; resume next slot
+			}
+		}
+		// Fully transferred (or zero-size unit): acknowledge and deliver.
+		p := q.Pop()
+		rep.Delivered++
+		rep.DeliveredBytes += p.Unit.SizeBytes
+		delivered = append(delivered, p)
+	}
+	return rep, delivered, nil
+}

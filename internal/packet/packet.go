@@ -1,0 +1,164 @@
+// Package packet implements the paper's packet-level delivery discipline
+// (§III-E): video NAL units are transmitted in decreasing order of their
+// significance to the reconstructed quality, lost packets are retransmitted
+// (ARQ with per-slot acknowledgments), and packets that outlive their GOP's
+// delivery deadline are discarded.
+package packet
+
+import (
+	"errors"
+	"fmt"
+
+	"femtocr/internal/video"
+)
+
+// ErrBadPacket is returned for malformed packets.
+var ErrBadPacket = errors.New("packet: invalid packet")
+
+// Packet is one in-flight video NAL unit.
+type Packet struct {
+	// User is the destination CR user (global 0-based index).
+	User int
+	// GOP is the index of the GOP the unit belongs to.
+	GOP int
+	// Unit is the video payload.
+	Unit video.NALUnit
+	// Deadline is the last slot index (inclusive) in which delivery still
+	// counts; after it the packet is overdue and must be discarded.
+	Deadline int
+	// Attempts counts the slots in which (part of) the packet was
+	// transmitted, for retransmission statistics.
+	Attempts int
+	// SentBytes tracks byte-level fragmentation progress: how much of the
+	// unit has been acknowledged so far.
+	SentBytes int
+
+	// retry marks that the last transmission attempt was lost, so the next
+	// send counts as a retransmission.
+	retry bool
+}
+
+// Validate checks packet sanity.
+func (p *Packet) Validate() error {
+	if p == nil {
+		return fmt.Errorf("%w: nil", ErrBadPacket)
+	}
+	if p.User < 0 {
+		return fmt.Errorf("%w: user %d", ErrBadPacket, p.User)
+	}
+	if p.Unit.SizeBytes < 0 {
+		return fmt.Errorf("%w: size %d", ErrBadPacket, p.Unit.SizeBytes)
+	}
+	return nil
+}
+
+// Queue is a per-user transmission queue ordered by decreasing
+// significance, then GOP, then frame — the order the paper transmits in.
+// The zero value is an empty queue.
+type Queue struct {
+	packets []*Packet
+	dropped int
+	bytes   int
+}
+
+// Len returns the number of queued packets.
+func (q *Queue) Len() int { return len(q.packets) }
+
+// Bytes returns the queued payload size.
+func (q *Queue) Bytes() int { return q.bytes }
+
+// Dropped returns the number of packets discarded as overdue so far.
+func (q *Queue) Dropped() int { return q.dropped }
+
+// Push inserts a packet in significance order (stable for equal
+// significance: earlier GOPs first).
+func (q *Queue) Push(p *Packet) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	// Binary search for the insertion point: significance descending,
+	// then GOP ascending.
+	lo, hi := 0, len(q.packets)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if less(q.packets[mid], p) {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	q.packets = append(q.packets, nil)
+	copy(q.packets[lo+1:], q.packets[lo:])
+	q.packets[lo] = p
+	q.bytes += p.Unit.SizeBytes
+	return nil
+}
+
+// less reports whether a should come after b (i.e. b outranks a).
+func less(a, b *Packet) bool {
+	if a.Unit.Significance != b.Unit.Significance {
+		return a.Unit.Significance < b.Unit.Significance
+	}
+	if a.GOP != b.GOP {
+		return a.GOP > b.GOP
+	}
+	return a.Unit.Frame > b.Unit.Frame
+}
+
+// Peek returns the head packet without removing it, or nil.
+func (q *Queue) Peek() *Packet {
+	if len(q.packets) == 0 {
+		return nil
+	}
+	return q.packets[0]
+}
+
+// Pop removes and returns the head packet, or nil.
+func (q *Queue) Pop() *Packet {
+	if len(q.packets) == 0 {
+		return nil
+	}
+	p := q.packets[0]
+	copy(q.packets, q.packets[1:])
+	q.packets = q.packets[:len(q.packets)-1]
+	q.bytes -= p.Unit.SizeBytes
+	return p
+}
+
+// DropOverdue discards every packet whose deadline precedes slot and
+// returns them (for accounting).
+func (q *Queue) DropOverdue(slot int) []*Packet {
+	var overdue []*Packet
+	kept := q.packets[:0]
+	for _, p := range q.packets {
+		if p.Deadline < slot {
+			overdue = append(overdue, p)
+			q.dropped++
+			q.bytes -= p.Unit.SizeBytes
+		} else {
+			kept = append(kept, p)
+		}
+	}
+	// Zero the tail so dropped packets do not pin memory.
+	for i := len(kept); i < len(q.packets); i++ {
+		q.packets[i] = nil
+	}
+	q.packets = kept
+	return overdue
+}
+
+// EnqueueGOP packetizes one GOP for a user: every NAL unit becomes a packet
+// with the GOP's delivery deadline.
+func (q *Queue) EnqueueGOP(user, gopIndex int, g video.GOP, deadline int) error {
+	for _, u := range g.Units {
+		if err := q.Push(&Packet{
+			User:     user,
+			GOP:      gopIndex,
+			Unit:     u,
+			Deadline: deadline,
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}

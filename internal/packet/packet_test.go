@@ -1,0 +1,433 @@
+package packet
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"femtocr/internal/rng"
+	"femtocr/internal/video"
+)
+
+func testGOP(t *testing.T) video.GOP {
+	t.Helper()
+	seq, err := video.SequenceByName("Bus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := video.BuildGOP(seq, 16, 2, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestPacketValidate(t *testing.T) {
+	if err := (&Packet{User: 0}).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := (&Packet{User: -1}).Validate(); !errors.Is(err, ErrBadPacket) {
+		t.Fatal("negative user accepted")
+	}
+	bad := &Packet{User: 0}
+	bad.Unit.SizeBytes = -1
+	if err := bad.Validate(); !errors.Is(err, ErrBadPacket) {
+		t.Fatal("negative size accepted")
+	}
+	var nilP *Packet
+	if err := nilP.Validate(); !errors.Is(err, ErrBadPacket) {
+		t.Fatal("nil accepted")
+	}
+}
+
+func TestQueueOrdering(t *testing.T) {
+	var q Queue
+	sig := []float64{0.2, 0.9, 0.5, 0.9, 0.1}
+	for i, s := range sig {
+		p := &Packet{User: 0, GOP: i}
+		p.Unit.Significance = s
+		p.Unit.SizeBytes = 10
+		if err := q.Push(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if q.Len() != 5 || q.Bytes() != 50 {
+		t.Fatalf("Len=%d Bytes=%d", q.Len(), q.Bytes())
+	}
+	// Pops come out in decreasing significance; ties by GOP ascending.
+	prev := 2.0
+	prevGOP := -1
+	for q.Len() > 0 {
+		p := q.Pop()
+		if p.Unit.Significance > prev {
+			t.Fatalf("significance order violated: %v after %v", p.Unit.Significance, prev)
+		}
+		if p.Unit.Significance == prev && p.GOP < prevGOP {
+			t.Fatalf("tie-break violated: GOP %d after %d", p.GOP, prevGOP)
+		}
+		prev = p.Unit.Significance
+		prevGOP = p.GOP
+	}
+	if q.Pop() != nil || q.Peek() != nil {
+		t.Fatal("empty queue must return nil")
+	}
+}
+
+func TestQueueOrderingProperty(t *testing.T) {
+	err := quick.Check(func(seed uint64, n uint8) bool {
+		s := rng.New(seed)
+		var q Queue
+		for i := 0; i < int(n%50)+1; i++ {
+			p := &Packet{User: 0, GOP: s.IntN(5)}
+			p.Unit.Significance = s.Float64()
+			p.Unit.SizeBytes = s.IntN(100)
+			if err := q.Push(p); err != nil {
+				return false
+			}
+		}
+		prev := 2.0
+		for q.Len() > 0 {
+			p := q.Pop()
+			if p.Unit.Significance > prev+1e-15 {
+				return false
+			}
+			prev = p.Unit.Significance
+		}
+		return true
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEnqueueGOPMatchesTransmissionOrder(t *testing.T) {
+	g := testGOP(t)
+	var q Queue
+	if err := q.EnqueueGOP(3, 0, g, 9); err != nil {
+		t.Fatal(err)
+	}
+	if q.Len() != len(g.Units) {
+		t.Fatalf("queued %d units, want %d", q.Len(), len(g.Units))
+	}
+	want := g.TransmissionOrder()
+	for i := 0; q.Len() > 0; i++ {
+		p := q.Pop()
+		if p.Unit != want[i] {
+			t.Fatalf("position %d: queue order deviates from TransmissionOrder", i)
+		}
+		if p.User != 3 || p.Deadline != 9 {
+			t.Fatalf("packet metadata wrong: %+v", p)
+		}
+	}
+}
+
+func TestDropOverdue(t *testing.T) {
+	var q Queue
+	for i := 0; i < 6; i++ {
+		p := &Packet{User: 0, GOP: 0, Deadline: i}
+		p.Unit.SizeBytes = 10
+		p.Unit.Significance = 0.5
+		if err := q.Push(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	overdue := q.DropOverdue(3) // deadlines 0,1,2 are overdue
+	if len(overdue) != 3 {
+		t.Fatalf("dropped %d, want 3", len(overdue))
+	}
+	if q.Len() != 3 || q.Dropped() != 3 || q.Bytes() != 30 {
+		t.Fatalf("Len=%d Dropped=%d Bytes=%d", q.Len(), q.Dropped(), q.Bytes())
+	}
+	for _, p := range overdue {
+		if p.Deadline >= 3 {
+			t.Fatalf("packet with deadline %d dropped at slot 3", p.Deadline)
+		}
+	}
+	if more := q.DropOverdue(0); len(more) != 0 {
+		t.Fatal("nothing should be overdue at slot 0")
+	}
+}
+
+func TestTransmitSlotDelivery(t *testing.T) {
+	var q Queue
+	for i := 0; i < 5; i++ {
+		p := &Packet{User: 0, GOP: 0, Deadline: 99}
+		p.Unit.SizeBytes = 100
+		p.Unit.Significance = 1 - float64(i)*0.1
+		if err := q.Push(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rep, delivered, err := TransmitSlot(&q, 250, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 100+100 delivered whole; the remaining 50 bytes go out as a fragment
+	// of the third packet, which stays queued until complete.
+	if rep.Sent != 3 || rep.Delivered != 2 || rep.DeliveredBytes != 200 {
+		t.Fatalf("report %+v, want 3 sent / 2 delivered / 200 bytes", rep)
+	}
+	if len(delivered) != 2 {
+		t.Fatalf("delivered %d packets", len(delivered))
+	}
+	if q.Len() != 3 {
+		t.Fatalf("queue has %d left, want 3", q.Len())
+	}
+	if head := q.Peek(); head.SentBytes != 50 {
+		t.Fatalf("head fragment progress %d, want 50", head.SentBytes)
+	}
+	// The next slot finishes the fragmented head within its budget.
+	rep, delivered, err = TransmitSlot(&q, 50, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Delivered != 1 || rep.DeliveredBytes != 100 || len(delivered) != 1 {
+		t.Fatalf("fragment completion report %+v", rep)
+	}
+}
+
+// TestTransmitSlotRateConservation: acknowledged bytes never exceed the sum
+// of slot budgets — fragmentation must not create capacity.
+func TestTransmitSlotRateConservation(t *testing.T) {
+	g := testGOP(t)
+	var q Queue
+	if err := q.EnqueueGOP(0, 0, g, 1<<30); err != nil {
+		t.Fatal(err)
+	}
+	const budget = 700
+	total := 0
+	slots := 0
+	for q.Len() > 0 && slots < 10000 {
+		rep, _, err := TransmitSlot(&q, budget, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += rep.DeliveredBytes
+		slots++
+	}
+	if total > budget*slots {
+		t.Fatalf("delivered %d bytes over %d slots of %d budget", total, slots, budget)
+	}
+	if total != g.TotalBytes() {
+		t.Fatalf("delivered %d, GOP holds %d", total, g.TotalBytes())
+	}
+}
+
+func TestTransmitSlotLossRequeues(t *testing.T) {
+	var q Queue
+	p := &Packet{User: 0, GOP: 0, Deadline: 99}
+	p.Unit.SizeBytes = 80
+	p.Unit.Significance = 0.9
+	if err := q.Push(p); err != nil {
+		t.Fatal(err)
+	}
+	rep, delivered, err := TransmitSlot(&q, 100, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Sent != 1 || rep.Delivered != 0 || len(delivered) != 0 {
+		t.Fatalf("loss slot report %+v", rep)
+	}
+	if q.Len() != 1 {
+		t.Fatal("lost packet left the queue")
+	}
+	if q.Peek().SentBytes != 0 {
+		t.Fatal("lost slot must not make progress")
+	}
+	// Second attempt counts as a retransmission.
+	rep, _, err = TransmitSlot(&q, 100, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Retransmissions != 1 {
+		t.Fatalf("retransmissions = %d, want 1", rep.Retransmissions)
+	}
+	if q.Peek() != nil {
+		t.Fatal("queue should be empty")
+	}
+}
+
+func TestTransmitSlotOversizedHeadFragments(t *testing.T) {
+	var q Queue
+	p := &Packet{User: 0, GOP: 0, Deadline: 99}
+	p.Unit.SizeBytes = 1000 // larger than any slot budget
+	p.Unit.Significance = 0.9
+	if err := q.Push(p); err != nil {
+		t.Fatal(err)
+	}
+	// Ten slots of 100 bytes each deliver it exactly once.
+	deliveredTotal := 0
+	for slot := 0; slot < 10; slot++ {
+		rep, delivered, err := TransmitSlot(&q, 100, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		deliveredTotal += len(delivered)
+		if slot < 9 && rep.Delivered != 0 {
+			t.Fatalf("slot %d delivered early", slot)
+		}
+	}
+	if deliveredTotal != 1 || q.Len() != 0 {
+		t.Fatalf("delivered %d, queue %d", deliveredTotal, q.Len())
+	}
+	if p.Attempts != 10 {
+		t.Fatalf("attempts = %d, want 10 fragments", p.Attempts)
+	}
+}
+
+func TestTransmitSlotZeroBudget(t *testing.T) {
+	var q Queue
+	p := &Packet{User: 0}
+	p.Unit.SizeBytes = 10
+	if err := q.Push(p); err != nil {
+		t.Fatal(err)
+	}
+	rep, delivered, err := TransmitSlot(&q, 0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Sent != 0 || delivered != nil || q.Len() != 1 {
+		t.Fatal("zero budget must send nothing")
+	}
+}
+
+func TestReceiverLifecycle(t *testing.T) {
+	g := testGOP(t)
+	r := NewReceiver(g.Sequence)
+	if r.CurrentPSNR() != g.Sequence.RD.Alpha {
+		t.Fatal("initial PSNR must be alpha")
+	}
+	r.StartGOP(0, g)
+	// Deliver the first half of the units.
+	order := g.TransmissionOrder()
+	var pkts []*Packet
+	half := 0
+	for i := 0; i < len(order)/2; i++ {
+		p := &Packet{User: 0, GOP: 0, Unit: order[i]}
+		pkts = append(pkts, p)
+		half += order[i].SizeBytes
+	}
+	r.Accept(pkts)
+	mid := r.CurrentPSNR()
+	if mid <= g.Sequence.RD.Alpha {
+		t.Fatalf("mid-GOP PSNR %v not above alpha", mid)
+	}
+	final := r.EndGOP()
+	if final != mid {
+		t.Fatalf("final %v != last current %v", final, mid)
+	}
+	if r.CompletedGOPs() != 1 || r.ReceivedPackets() != len(pkts) {
+		t.Fatalf("accounting: GOPs=%d pkts=%d", r.CompletedGOPs(), r.ReceivedPackets())
+	}
+	wantRate := g.RateMbps() * float64(half) / float64(g.TotalBytes())
+	if want := g.Sequence.RD.PSNR(wantRate); final != want {
+		t.Fatalf("final PSNR %v, want %v", final, want)
+	}
+}
+
+func TestReceiverIgnoresWrongGOP(t *testing.T) {
+	g := testGOP(t)
+	r := NewReceiver(g.Sequence)
+	r.StartGOP(1, g)
+	p := &Packet{User: 0, GOP: 0, Unit: g.Units[0]} // straggler from GOP 0
+	r.Accept([]*Packet{p})
+	if r.ReceivedPackets() != 0 {
+		t.Fatal("straggler accepted")
+	}
+}
+
+func TestReceiverFullDeliveryCapped(t *testing.T) {
+	g := testGOP(t)
+	r := NewReceiver(g.Sequence)
+	r.StartGOP(0, g)
+	var pkts []*Packet
+	for _, u := range g.Units {
+		pkts = append(pkts, &Packet{User: 0, GOP: 0, Unit: u})
+	}
+	r.Accept(pkts)
+	final := r.EndGOP()
+	if final > g.Sequence.MaxPSNR() {
+		t.Fatalf("PSNR %v above ceiling", final)
+	}
+	if final < g.Sequence.RD.PSNR(g.RateMbps())-0.5 {
+		t.Fatalf("full delivery PSNR %v too low", final)
+	}
+}
+
+func TestReceiverMeanOverGOPs(t *testing.T) {
+	g := testGOP(t)
+	r := NewReceiver(g.Sequence)
+	r.StartGOP(0, g)
+	r.EndGOP() // nothing delivered: alpha
+	r.StartGOP(1, g)
+	var pkts []*Packet
+	for _, u := range g.Units {
+		pkts = append(pkts, &Packet{User: 0, GOP: 1, Unit: u})
+	}
+	r.Accept(pkts)
+	full := r.EndGOP()
+	want := (g.Sequence.RD.Alpha + full) / 2
+	if got := r.MeanPSNR(); got != want {
+		t.Fatalf("mean %v, want %v", got, want)
+	}
+}
+
+// TestInterleavedGOPs: when a new GOP is enqueued while remnants of the old
+// one are still queued, base-layer units of the old GOP outrank enhancement
+// units of the new one (same significance scale), and equal-significance
+// ties resolve to the older GOP.
+func TestInterleavedGOPs(t *testing.T) {
+	g := testGOP(t)
+	var q Queue
+	if err := q.EnqueueGOP(0, 0, g, 9); err != nil {
+		t.Fatal(err)
+	}
+	// Drain half of GOP 0, then enqueue GOP 1.
+	for i := 0; i < len(g.Units)/2; i++ {
+		q.Pop()
+	}
+	if err := q.EnqueueGOP(0, 1, g, 19); err != nil {
+		t.Fatal(err)
+	}
+	prevSig := 2.0
+	prevGOP := -1
+	for q.Len() > 0 {
+		p := q.Pop()
+		if p.Unit.Significance > prevSig+1e-15 {
+			t.Fatal("significance order broken across GOPs")
+		}
+		if p.Unit.Significance == prevSig && p.GOP < prevGOP {
+			t.Fatalf("tie at significance %v served GOP %d after GOP %d",
+				prevSig, p.GOP, prevGOP)
+		}
+		prevSig = p.Unit.Significance
+		prevGOP = p.GOP
+	}
+}
+
+// TestQueueStress: push/pop/drop cycles at scale keep the byte accounting
+// exact.
+func TestQueueStress(t *testing.T) {
+	g := testGOP(t)
+	var q Queue
+	expectBytes := 0
+	for gop := 0; gop < 50; gop++ {
+		if err := q.EnqueueGOP(0, gop, g, gop*10+9); err != nil {
+			t.Fatal(err)
+		}
+		expectBytes += g.TotalBytes()
+		// Drain a third.
+		for i := 0; i < len(g.Units)/3; i++ {
+			if p := q.Pop(); p != nil {
+				expectBytes -= p.Unit.SizeBytes
+			}
+		}
+		// Expire everything older than two GOPs.
+		for _, p := range q.DropOverdue(gop*10 - 10) {
+			expectBytes -= p.Unit.SizeBytes
+		}
+		if q.Bytes() != expectBytes {
+			t.Fatalf("gop %d: queue bytes %d, expected %d", gop, q.Bytes(), expectBytes)
+		}
+	}
+}

@@ -1,0 +1,101 @@
+package packet
+
+import (
+	"femtocr/internal/video"
+)
+
+// Receiver reconstructs per-GOP video quality from delivered packets: the
+// decoder counterpart of the transmission queue. Units decode in layer
+// dependency order, so the reconstructed quality of a GOP is driven by the
+// delivered fraction of its encoded rate, capped at the encoding ceiling
+// (eq. 9 applied to the received rate).
+type Receiver struct {
+	seq video.Sequence
+
+	current      int // GOP index being received
+	totalBytes   int // encoded size of the current GOP
+	gotBytes     int
+	gopRateMbps  float64
+	completed    int
+	sum          float64
+	lastPSNR     float64
+	receivedPkts int
+}
+
+// NewReceiver tracks one user's stream.
+func NewReceiver(seq video.Sequence) *Receiver {
+	return &Receiver{seq: seq, current: -1, lastPSNR: seq.RD.Alpha}
+}
+
+// StartGOP announces the GOP about to be streamed, with its encoded layout.
+func (r *Receiver) StartGOP(index int, g video.GOP) {
+	r.current = index
+	r.totalBytes = g.TotalBytes()
+	r.gotBytes = 0
+	r.gopRateMbps = g.RateMbps()
+}
+
+// Accept records delivered packets; packets of other GOPs (late stragglers)
+// are ignored.
+func (r *Receiver) Accept(pkts []*Packet) {
+	for _, p := range pkts {
+		if p.GOP != r.current {
+			continue
+		}
+		r.gotBytes += p.Unit.SizeBytes
+		r.receivedPkts++
+	}
+}
+
+// EndGOP closes the current GOP: the reconstructed quality is W(received
+// rate) per eq. (9), recorded into the running average. Returns the GOP's
+// final PSNR.
+func (r *Receiver) EndGOP() float64 {
+	psnr := r.seq.RD.Alpha
+	if r.totalBytes > 0 {
+		frac := float64(r.gotBytes) / float64(r.totalBytes)
+		if frac > 1 {
+			frac = 1
+		}
+		psnr = r.seq.RD.PSNR(r.gopRateMbps * frac)
+		if max := r.seq.MaxPSNR(); psnr > max {
+			psnr = max
+		}
+	}
+	r.completed++
+	r.sum += psnr
+	r.lastPSNR = psnr
+	r.current = -1
+	return psnr
+}
+
+// CurrentPSNR returns the quality the user would decode if the GOP ended
+// now — the W^t the optimizer consumes mid-GOP.
+func (r *Receiver) CurrentPSNR() float64 {
+	if r.current < 0 || r.totalBytes == 0 {
+		return r.lastPSNR
+	}
+	frac := float64(r.gotBytes) / float64(r.totalBytes)
+	if frac > 1 {
+		frac = 1
+	}
+	psnr := r.seq.RD.PSNR(r.gopRateMbps * frac)
+	if max := r.seq.MaxPSNR(); psnr > max {
+		return max
+	}
+	return psnr
+}
+
+// CompletedGOPs returns the number of closed GOPs.
+func (r *Receiver) CompletedGOPs() int { return r.completed }
+
+// MeanPSNR averages the final quality over closed GOPs (alpha when none).
+func (r *Receiver) MeanPSNR() float64 {
+	if r.completed == 0 {
+		return r.seq.RD.Alpha
+	}
+	return r.sum / float64(r.completed)
+}
+
+// ReceivedPackets returns the total accepted packet count.
+func (r *Receiver) ReceivedPackets() int { return r.receivedPkts }

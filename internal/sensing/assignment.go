@@ -1,0 +1,124 @@
+package sensing
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"femtocr/internal/rng"
+)
+
+// AssignmentPolicy selects which licensed channel each single-transceiver CR
+// user senses in a slot (paper §III-B: "Each CR user chooses one channel to
+// sense in a time slot, since it only has one transceiver"). FBSs have M
+// antennas and sense every channel, so policies apply to users only.
+type AssignmentPolicy int
+
+// Supported policies.
+const (
+	// RoundRobin rotates users across channels with the slot index so every
+	// channel is sensed equally often over time.
+	RoundRobin AssignmentPolicy = iota + 1
+	// RandomAssign draws each user's channel uniformly at random per slot.
+	RandomAssign
+	// Stratified spreads users as evenly as possible across channels within
+	// each single slot, randomizing only the channel order.
+	Stratified
+	// UncertaintyDriven targets the channels whose occupancy is least
+	// certain. It needs per-channel busy beliefs (see AssignByUncertainty);
+	// the generic Assign falls back to round-robin for it.
+	UncertaintyDriven
+)
+
+// String names the policy.
+func (p AssignmentPolicy) String() string {
+	switch p {
+	case RoundRobin:
+		return "round-robin"
+	case RandomAssign:
+		return "random"
+	case Stratified:
+		return "stratified"
+	case UncertaintyDriven:
+		return "uncertainty-driven"
+	default:
+		return fmt.Sprintf("AssignmentPolicy(%d)", int(p))
+	}
+}
+
+// ErrBadAssignment is returned for invalid sensor counts, channel counts, or
+// unknown policies.
+var ErrBadAssignment = errors.New("sensing: invalid assignment request")
+
+// Assign maps each of numSensors user-sensors to one licensed channel
+// (1-based). slot rotates deterministic policies over time; s supplies
+// randomness for the stochastic policies and may be nil for RoundRobin.
+func Assign(policy AssignmentPolicy, numSensors, m, slot int, s *rng.Stream) ([]int, error) {
+	if numSensors < 0 || m <= 0 {
+		return nil, fmt.Errorf("%w: numSensors=%d M=%d", ErrBadAssignment, numSensors, m)
+	}
+	out := make([]int, numSensors)
+	switch policy {
+	case RoundRobin, UncertaintyDriven:
+		// UncertaintyDriven needs beliefs; without them (this generic entry
+		// point) it degrades to round-robin.
+		for i := range out {
+			out[i] = (i+slot)%m + 1
+		}
+	case RandomAssign:
+		if s == nil {
+			return nil, fmt.Errorf("%w: random policy needs a stream", ErrBadAssignment)
+		}
+		for i := range out {
+			out[i] = s.IntN(m) + 1
+		}
+	case Stratified:
+		if s == nil {
+			return nil, fmt.Errorf("%w: stratified policy needs a stream", ErrBadAssignment)
+		}
+		perm := s.Perm(m)
+		for i := range out {
+			out[i] = perm[i%m] + 1
+		}
+	default:
+		return nil, fmt.Errorf("%w: unknown policy %d", ErrBadAssignment, int(policy))
+	}
+	return out, nil
+}
+
+// AssignByUncertainty assigns sensors to the channels with the most
+// uncertain occupancy: channels are ranked by |Pr{busy} - 1/2| ascending
+// (binary entropy is maximized at 1/2), and sensors are spread round-robin
+// over that ranking. A sensing result is worth the most exactly where the
+// belief is least decided.
+func AssignByUncertainty(numSensors int, busyProbs []float64) ([]int, error) {
+	m := len(busyProbs)
+	if numSensors < 0 || m == 0 {
+		return nil, fmt.Errorf("%w: numSensors=%d M=%d", ErrBadAssignment, numSensors, m)
+	}
+	order := make([]int, m)
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		da := math.Abs(busyProbs[order[a]] - 0.5)
+		db := math.Abs(busyProbs[order[b]] - 0.5)
+		return da < db
+	})
+	out := make([]int, numSensors)
+	for i := range out {
+		out[i] = order[i%m] + 1
+	}
+	return out, nil
+}
+
+// PerChannel inverts an assignment: index m-1 lists the sensors assigned to
+// channel m.
+func PerChannel(assignment []int, m int) [][]int {
+	out := make([][]int, m)
+	for sensor, ch := range assignment {
+		out[ch-1] = append(out[ch-1], sensor)
+	}
+	return out
+}

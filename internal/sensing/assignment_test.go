@@ -1,0 +1,180 @@
+package sensing
+
+import (
+	"errors"
+	"testing"
+
+	"femtocr/internal/rng"
+)
+
+func TestAssignRoundRobinCoverage(t *testing.T) {
+	const m = 8
+	counts := make([]int, m)
+	for slot := 0; slot < m; slot++ {
+		a, err := Assign(RoundRobin, 3, m, slot, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, ch := range a {
+			if ch < 1 || ch > m {
+				t.Fatalf("channel %d out of range", ch)
+			}
+			counts[ch-1]++
+		}
+	}
+	// Over M slots, round-robin visits each channel the same number of times.
+	for ch, c := range counts {
+		if c != 3 {
+			t.Fatalf("channel %d sensed %d times over %d slots, want 3", ch+1, c, m)
+		}
+	}
+}
+
+func TestAssignRoundRobinRotates(t *testing.T) {
+	a0, _ := Assign(RoundRobin, 2, 4, 0, nil)
+	a1, _ := Assign(RoundRobin, 2, 4, 1, nil)
+	if a0[0] == a1[0] {
+		t.Fatalf("round-robin did not rotate with slot: %v vs %v", a0, a1)
+	}
+}
+
+func TestAssignRandomInRange(t *testing.T) {
+	s := rng.New(1)
+	a, err := Assign(RandomAssign, 100, 5, 0, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ch := range a {
+		if ch < 1 || ch > 5 {
+			t.Fatalf("channel %d out of range", ch)
+		}
+	}
+}
+
+func TestAssignStratifiedEven(t *testing.T) {
+	s := rng.New(2)
+	const m, k = 4, 10
+	a, err := Assign(Stratified, k, m, 0, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, m)
+	for _, ch := range a {
+		counts[ch-1]++
+	}
+	// 10 sensors over 4 channels: counts must be 3,3,2,2 in some order.
+	lo, hi := k/m, (k+m-1)/m
+	for ch, c := range counts {
+		if c < lo || c > hi {
+			t.Fatalf("stratified channel %d got %d sensors, want %d..%d", ch+1, c, lo, hi)
+		}
+	}
+}
+
+func TestAssignErrors(t *testing.T) {
+	if _, err := Assign(RoundRobin, -1, 4, 0, nil); !errors.Is(err, ErrBadAssignment) {
+		t.Fatalf("negative sensors err = %v", err)
+	}
+	if _, err := Assign(RoundRobin, 3, 0, 0, nil); !errors.Is(err, ErrBadAssignment) {
+		t.Fatalf("zero channels err = %v", err)
+	}
+	if _, err := Assign(RandomAssign, 3, 4, 0, nil); !errors.Is(err, ErrBadAssignment) {
+		t.Fatalf("random without stream err = %v", err)
+	}
+	if _, err := Assign(Stratified, 3, 4, 0, nil); !errors.Is(err, ErrBadAssignment) {
+		t.Fatalf("stratified without stream err = %v", err)
+	}
+	if _, err := Assign(AssignmentPolicy(0), 3, 4, 0, nil); !errors.Is(err, ErrBadAssignment) {
+		t.Fatalf("unknown policy err = %v", err)
+	}
+}
+
+func TestAssignZeroSensors(t *testing.T) {
+	a, err := Assign(RoundRobin, 0, 4, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != 0 {
+		t.Fatalf("len = %d, want 0", len(a))
+	}
+}
+
+func TestPerChannel(t *testing.T) {
+	assignment := []int{1, 2, 1, 3}
+	pc := PerChannel(assignment, 3)
+	if len(pc) != 3 {
+		t.Fatalf("len = %d, want 3", len(pc))
+	}
+	if len(pc[0]) != 2 || pc[0][0] != 0 || pc[0][1] != 2 {
+		t.Fatalf("channel 1 sensors = %v, want [0 2]", pc[0])
+	}
+	if len(pc[1]) != 1 || pc[1][0] != 1 {
+		t.Fatalf("channel 2 sensors = %v, want [1]", pc[1])
+	}
+	if len(pc[2]) != 1 || pc[2][0] != 3 {
+		t.Fatalf("channel 3 sensors = %v, want [3]", pc[2])
+	}
+}
+
+func TestPolicyString(t *testing.T) {
+	if RoundRobin.String() != "round-robin" ||
+		RandomAssign.String() != "random" ||
+		Stratified.String() != "stratified" {
+		t.Fatal("policy strings wrong")
+	}
+	if AssignmentPolicy(9).String() != "AssignmentPolicy(9)" {
+		t.Fatalf("unknown policy string = %q", AssignmentPolicy(9).String())
+	}
+}
+
+func TestAssignByUncertainty(t *testing.T) {
+	busy := []float64{0.9, 0.5, 0.1, 0.45}
+	// Uncertainty order: ch2 (0.5), ch4 (0.45), ch1 (0.9) vs ch3 (0.1)
+	// tie at distance 0.4 broken by index (stable): ch1 then ch3.
+	a, err := AssignByUncertainty(4, busy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{2, 4, 1, 3}
+	for i := range want {
+		if a[i] != want[i] {
+			t.Fatalf("assignment %v, want %v", a, want)
+		}
+	}
+	// More sensors than channels wrap around the ranking.
+	a, err = AssignByUncertainty(6, busy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a[4] != 2 || a[5] != 4 {
+		t.Fatalf("wrap-around wrong: %v", a)
+	}
+}
+
+func TestAssignByUncertaintyErrors(t *testing.T) {
+	if _, err := AssignByUncertainty(2, nil); !errors.Is(err, ErrBadAssignment) {
+		t.Fatal("empty beliefs accepted")
+	}
+	if _, err := AssignByUncertainty(-1, []float64{0.5}); !errors.Is(err, ErrBadAssignment) {
+		t.Fatal("negative sensors accepted")
+	}
+}
+
+func TestUncertaintyPolicyFallsBackToRoundRobin(t *testing.T) {
+	a, err := Assign(UncertaintyDriven, 3, 4, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr, err := Assign(RoundRobin, 3, 4, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != rr[i] {
+			t.Fatal("fallback differs from round-robin")
+		}
+	}
+	if UncertaintyDriven.String() != "uncertainty-driven" {
+		t.Fatal("name wrong")
+	}
+}

@@ -1,0 +1,82 @@
+package sensing
+
+import (
+	"errors"
+	"fmt"
+)
+
+// The fusion rule of eqs. (2)-(4) takes the channel utilization eta as a
+// known prior. In a deployed system eta must be learned from the sensing
+// results themselves — which are biased by the detector's errors: an idle
+// channel is reported busy with probability epsilon and a busy one idle
+// with probability delta, so the raw busy-report fraction observes
+//
+//	Pr{report busy} = eta*(1-delta) + (1-eta)*epsilon.
+//
+// UtilizationEstimator inverts that relation by the method of moments:
+//
+//	eta_hat = (busyFraction - epsilon) / (1 - epsilon - delta),
+//
+// clamped to [0, 1]. The estimator is consistent whenever the detector is
+// informative (epsilon + delta < 1).
+
+// ErrUninformativeDetector is returned when epsilon + delta >= 1, where the
+// busy-report rate carries no information about the utilization.
+var ErrUninformativeDetector = errors.New("sensing: detector too noisy to estimate utilization")
+
+// ErrNoObservations is returned when an estimate is requested before any
+// observation was recorded.
+var ErrNoObservations = errors.New("sensing: no observations")
+
+// UtilizationEstimator learns a channel's utilization online from its own
+// noisy sensing reports.
+type UtilizationEstimator struct {
+	det   Detector
+	busy  int
+	total int
+}
+
+// NewUtilizationEstimator builds an estimator for results produced by det.
+func NewUtilizationEstimator(det Detector) (*UtilizationEstimator, error) {
+	if det.FalseAlarm()+det.MissDetect() >= 1 {
+		return nil, fmt.Errorf("%w: epsilon=%v delta=%v",
+			ErrUninformativeDetector, det.FalseAlarm(), det.MissDetect())
+	}
+	return &UtilizationEstimator{det: det}, nil
+}
+
+// Record folds one sensing report in.
+func (e *UtilizationEstimator) Record(o Observation) {
+	e.total++
+	if o.Busy {
+		e.busy++
+	}
+}
+
+// Observations returns the number of recorded reports.
+func (e *UtilizationEstimator) Observations() int { return e.total }
+
+// Estimate returns the bias-corrected utilization estimate eta_hat.
+func (e *UtilizationEstimator) Estimate() (float64, error) {
+	if e.total == 0 {
+		return 0, ErrNoObservations
+	}
+	frac := float64(e.busy) / float64(e.total)
+	eta := (frac - e.det.FalseAlarm()) / (1 - e.det.FalseAlarm() - e.det.MissDetect())
+	if eta < 0 {
+		eta = 0
+	}
+	if eta > 1 {
+		eta = 1
+	}
+	return eta, nil
+}
+
+// RawBusyFraction returns the uncorrected busy-report rate, useful to
+// demonstrate the detector bias the correction removes.
+func (e *UtilizationEstimator) RawBusyFraction() (float64, error) {
+	if e.total == 0 {
+		return 0, ErrNoObservations
+	}
+	return float64(e.busy) / float64(e.total), nil
+}

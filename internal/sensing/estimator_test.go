@@ -1,0 +1,130 @@
+package sensing
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"femtocr/internal/markov"
+	"femtocr/internal/rng"
+)
+
+func TestEstimatorRejectsUninformativeDetector(t *testing.T) {
+	d, err := NewDetector(0.6, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewUtilizationEstimator(d); !errors.Is(err, ErrUninformativeDetector) {
+		t.Fatalf("err = %v, want ErrUninformativeDetector", err)
+	}
+}
+
+func TestEstimatorNeedsObservations(t *testing.T) {
+	d, _ := NewDetector(0.3, 0.3)
+	e, err := NewUtilizationEstimator(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Estimate(); !errors.Is(err, ErrNoObservations) {
+		t.Fatalf("err = %v, want ErrNoObservations", err)
+	}
+	if _, err := e.RawBusyFraction(); !errors.Is(err, ErrNoObservations) {
+		t.Fatalf("raw err = %v", err)
+	}
+}
+
+// TestEstimatorConsistency: with the paper's noisy detector
+// (epsilon = delta = 0.3) the corrected estimate converges to the true
+// utilization while the raw busy fraction stays biased toward 1/2.
+func TestEstimatorConsistency(t *testing.T) {
+	chain, err := markov.NewChain(0.4, 0.3) // eta = 0.5714
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, _ := NewDetector(0.3, 0.3)
+	e, err := NewUtilizationEstimator(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := rng.New(5)
+	state := chain.SampleStationary(s)
+	for i := 0; i < 200000; i++ {
+		state = chain.Next(state, s)
+		e.Record(d.Sense(state, s))
+	}
+	eta := chain.Utilization()
+	est, err := e.Estimate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(est-eta) > 0.01 {
+		t.Fatalf("corrected estimate %v, true %v", est, eta)
+	}
+	raw, err := e.RawBusyFraction()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Raw rate = eta*(1-delta) + (1-eta)*eps = 0.5714*0.7 + 0.4286*0.3 = 0.5286.
+	wantRaw := eta*0.7 + (1-eta)*0.3
+	if math.Abs(raw-wantRaw) > 0.01 {
+		t.Fatalf("raw fraction %v, want ~%v", raw, wantRaw)
+	}
+	if math.Abs(raw-eta) < math.Abs(est-eta) {
+		t.Fatalf("raw %v closer to truth than corrected %v", raw, est)
+	}
+}
+
+// TestEstimatorClamping: extreme samples cannot push the estimate outside
+// [0, 1].
+func TestEstimatorClamping(t *testing.T) {
+	d, _ := NewDetector(0.3, 0.3)
+	e, err := NewUtilizationEstimator(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All-idle reports: frac = 0 < epsilon, so the raw inversion would be
+	// negative; the estimate clamps to 0.
+	for i := 0; i < 50; i++ {
+		e.Record(Observation{Busy: false, Detector: d})
+	}
+	est, err := e.Estimate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est != 0 {
+		t.Fatalf("estimate %v, want clamped 0", est)
+	}
+	// All-busy reports clamp to 1.
+	e2, _ := NewUtilizationEstimator(d)
+	for i := 0; i < 50; i++ {
+		e2.Record(Observation{Busy: true, Detector: d})
+	}
+	est, err = e2.Estimate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est != 1 {
+		t.Fatalf("estimate %v, want clamped 1", est)
+	}
+	if e2.Observations() != 50 {
+		t.Fatalf("observations %d", e2.Observations())
+	}
+}
+
+// TestEstimatorPerfectDetector: with no sensing errors the corrected and
+// raw estimates coincide.
+func TestEstimatorPerfectDetector(t *testing.T) {
+	d, _ := NewDetector(0, 0)
+	e, err := NewUtilizationEstimator(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		e.Record(Observation{Busy: i%2 == 0, Detector: d})
+	}
+	est, _ := e.Estimate()
+	raw, _ := e.RawBusyFraction()
+	if est != raw || est != 0.5 {
+		t.Fatalf("perfect detector: est %v raw %v", est, raw)
+	}
+}

@@ -1,0 +1,48 @@
+package sensing_test
+
+import (
+	"fmt"
+
+	"femtocr/internal/sensing"
+)
+
+// Fusing sensing results with eq. (2): two idle reports and one busy report
+// from detectors with the paper's error rates epsilon = delta = 0.3, on a
+// channel with utilization 0.571.
+func ExamplePosterior() {
+	det, err := sensing.NewDetector(0.3, 0.3)
+	if err != nil {
+		panic(err)
+	}
+	obs := []sensing.Observation{
+		{Busy: false, Detector: det},
+		{Busy: false, Detector: det},
+		{Busy: true, Detector: det},
+	}
+	pa, err := sensing.Posterior(0.571, obs)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("P_A = %.4f\n", pa)
+	// Output:
+	// P_A = 0.6368
+}
+
+// The iterative decomposition of eqs. (3)-(4): results arrive one at a time
+// over the common channel and the posterior is updated incrementally.
+func ExampleFuser() {
+	det, _ := sensing.NewDetector(0.3, 0.3)
+	f, err := sensing.NewFuser(0.571)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("prior:        %.4f\n", f.Posterior())
+	f.Update(sensing.Observation{Busy: false, Detector: det})
+	fmt.Printf("after idle:   %.4f\n", f.Posterior())
+	f.Update(sensing.Observation{Busy: false, Detector: det})
+	fmt.Printf("after idle:   %.4f\n", f.Posterior())
+	// Output:
+	// prior:        0.4290
+	// after idle:   0.6368
+	// after idle:   0.8036
+}

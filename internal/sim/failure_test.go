@@ -1,0 +1,189 @@
+package sim
+
+// Failure-injection tests: the engine must behave gracefully at the edges
+// of the parameter space — spectrum nearly always busy, collision budget
+// zero, hopeless links, near-blind sensors — degrading quality without
+// crashing, NaNs, or constraint violations.
+
+import (
+	"math"
+	"testing"
+
+	"femtocr/internal/netmodel"
+	"femtocr/internal/video"
+)
+
+func runOK(t *testing.T, cfg netmodel.Config, opts Options) *Result {
+	t.Helper()
+	net, err := netmodel.PaperSingleFBS(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(net, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j, p := range res.PerUserPSNR {
+		if math.IsNaN(p) || math.IsInf(p, 0) {
+			t.Fatalf("user %d PSNR %v", j, p)
+		}
+	}
+	if math.IsNaN(res.MeanPSNR) || res.CollisionRate < 0 || res.CollisionRate > 1 {
+		t.Fatalf("degenerate result: %+v", res)
+	}
+	return res
+}
+
+// TestNearSaturatedSpectrum: primary users occupy ~90% of every channel;
+// almost everything must flow through the common channel.
+func TestNearSaturatedSpectrum(t *testing.T) {
+	cfg := netmodel.DefaultConfig()
+	cfg.P10 = 0.05
+	cfg.P01 = 0.45 // eta = 0.9
+	res := runOK(t, cfg, Options{Seed: 1, GOPs: 20})
+	base := runOK(t, netmodel.DefaultConfig(), Options{Seed: 1, GOPs: 20})
+	if res.MeanPSNR >= base.MeanPSNR {
+		t.Fatalf("saturated spectrum %v not worse than default %v", res.MeanPSNR, base.MeanPSNR)
+	}
+	if res.MeanExpectedChannels >= base.MeanExpectedChannels {
+		t.Fatalf("expected channels %v not below default %v",
+			res.MeanExpectedChannels, base.MeanExpectedChannels)
+	}
+}
+
+// TestZeroCollisionBudget: gamma = 0 forbids any risk; only channels whose
+// posterior certainty is absolute may be accessed, so licensed throughput
+// collapses but the run completes and protection is perfect.
+func TestZeroCollisionBudget(t *testing.T) {
+	cfg := netmodel.DefaultConfig()
+	cfg.Gamma = 0
+	res := runOK(t, cfg, Options{Seed: 1, GOPs: 30})
+	if res.CollisionRate != 0 {
+		t.Fatalf("gamma=0 but collision rate %v", res.CollisionRate)
+	}
+	// With epsilon, delta > 0 no posterior reaches certainty, so no licensed
+	// channel is ever accessed.
+	if res.MeanExpectedChannels != 0 {
+		t.Fatalf("gamma=0 accessed %v expected channels", res.MeanExpectedChannels)
+	}
+	// The common channel still delivers something.
+	base := 0.0
+	for _, u := range mustNet(t, cfg).Users {
+		base += u.Seq.RD.Alpha
+	}
+	base /= 3
+	if res.MeanPSNR <= base {
+		t.Fatalf("common channel delivered nothing: %v <= %v", res.MeanPSNR, base)
+	}
+}
+
+func mustNet(t *testing.T, cfg netmodel.Config) *netmodel.Network {
+	t.Helper()
+	net, err := netmodel.PaperSingleFBS(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net
+}
+
+// TestFullCollisionBudget: gamma = 1 allows accessing everything; quality
+// is the best of the sweep and collisions approach the channel busy rate.
+func TestFullCollisionBudget(t *testing.T) {
+	cfg := netmodel.DefaultConfig()
+	cfg.Gamma = 1
+	res := runOK(t, cfg, Options{Seed: 1, GOPs: 30})
+	limited := runOK(t, netmodel.DefaultConfig(), Options{Seed: 1, GOPs: 30})
+	if res.MeanPSNR < limited.MeanPSNR {
+		t.Fatalf("unlimited budget %v below gamma=0.2 %v", res.MeanPSNR, limited.MeanPSNR)
+	}
+	// Every channel always accessed: collision rate ~ eta.
+	if res.CollisionRate < 0.45 {
+		t.Fatalf("gamma=1 collision rate %v suspiciously low (eta=0.571)", res.CollisionRate)
+	}
+}
+
+// TestHopelessLinks: a decoding threshold far above every link's SINR means
+// nothing ever decodes; quality stays exactly at the base layer.
+func TestHopelessLinks(t *testing.T) {
+	cfg := netmodel.DefaultConfig()
+	cfg.ThresholdDB = 60
+	net := mustNet(t, cfg)
+	res, err := Run(net, Options{Seed: 1, GOPs: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j, p := range res.PerUserPSNR {
+		if math.Abs(p-net.Users[j].Seq.RD.Alpha) > 0.2 {
+			t.Fatalf("user %d got %v despite hopeless links (alpha %v)",
+				j, p, net.Users[j].Seq.RD.Alpha)
+		}
+	}
+}
+
+// TestNearBlindSensors: epsilon = delta = 0.49 makes sensing almost
+// uninformative; the posterior stays near the prior and the system still
+// respects the collision budget.
+func TestNearBlindSensors(t *testing.T) {
+	cfg := netmodel.DefaultConfig()
+	cfg.Eps, cfg.Delta = 0.49, 0.49
+	res := runOK(t, cfg, Options{Seed: 2, GOPs: 100})
+	if res.CollisionRate > cfg.Gamma+0.05 {
+		t.Fatalf("blind sensing broke protection: %v", res.CollisionRate)
+	}
+	informed := runOK(t, netmodel.DefaultConfig(), Options{Seed: 2, GOPs: 100})
+	if res.MeanPSNR > informed.MeanPSNR+0.2 {
+		t.Fatalf("blind sensing %v beats informed %v", res.MeanPSNR, informed.MeanPSNR)
+	}
+}
+
+// TestSingleUserNetwork: the smallest possible network runs under every
+// scheme.
+func TestSingleUserNetwork(t *testing.T) {
+	cfg := netmodel.DefaultConfig()
+	bus := mustNet(t, cfg).Users[0].Seq
+	net, err := netmodel.SingleFBS(cfg, []video.Sequence{bus})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sch := range []Scheme{Proposed, Heuristic1, Heuristic2} {
+		res, err := Run(net, Options{Seed: 1, GOPs: 5, Scheme: sch})
+		if err != nil {
+			t.Fatalf("%v: %v", sch, err)
+		}
+		if res.MeanPSNR < bus.RD.Alpha-1e-9 {
+			t.Fatalf("%v: PSNR %v below alpha", sch, res.MeanPSNR)
+		}
+	}
+}
+
+// TestTinyGOPDeadline: T=1 means a single slot per GOP — every boundary
+// condition in the engine fires each slot.
+func TestTinyGOPDeadline(t *testing.T) {
+	cfg := netmodel.DefaultConfig()
+	cfg.T = 1
+	res := runOK(t, cfg, Options{Seed: 3, GOPs: 30})
+	if res.GOPs != 30 || res.Slots != 30 {
+		t.Fatalf("accounting with T=1: %+v", res)
+	}
+}
+
+// TestHeterogeneousChannelsPreferIdle: with one nearly-free and one
+// nearly-saturated channel, the access rule should deliver more expected
+// availability than the same band with both channels at the average.
+func TestHeterogeneousChannelsPreferIdle(t *testing.T) {
+	het := netmodel.DefaultConfig()
+	het.HeterogeneousEta = []float64{0.1, 0.1, 0.7, 0.7}
+	resHet := runOK(t, het, Options{Seed: 4, GOPs: 30})
+
+	hom := netmodel.DefaultConfig()
+	hom.HeterogeneousEta = []float64{0.4, 0.4, 0.4, 0.4}
+	resHom := runOK(t, hom, Options{Seed: 4, GOPs: 30})
+
+	// Expected availability: idle channels are easy to confirm idle, busy
+	// ones are protected away, so the mixed band yields at least as much
+	// usable spectrum as the homogeneous one.
+	if resHet.MeanExpectedChannels < resHom.MeanExpectedChannels-0.3 {
+		t.Fatalf("heterogeneous G %v well below homogeneous %v",
+			resHet.MeanExpectedChannels, resHom.MeanExpectedChannels)
+	}
+}

@@ -1,0 +1,573 @@
+package sim
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+
+	"femtocr/internal/netmodel"
+	"femtocr/internal/sensing"
+	"femtocr/internal/trace"
+	"femtocr/internal/video"
+)
+
+func singleNet(t *testing.T) *netmodel.Network {
+	t.Helper()
+	n, err := netmodel.PaperSingleFBS(netmodel.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func interferingNet(t *testing.T) *netmodel.Network {
+	t.Helper()
+	n, err := netmodel.PaperInterfering(netmodel.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func TestSchemeString(t *testing.T) {
+	if Proposed.String() != "Proposed" || Heuristic1.String() != "Heuristic 1" ||
+		Heuristic2.String() != "Heuristic 2" {
+		t.Fatal("scheme names wrong")
+	}
+	if Scheme(9).String() != "Scheme(9)" {
+		t.Fatal("unknown scheme name wrong")
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if _, err := Run(nil, Options{}); !errors.Is(err, ErrBadOptions) {
+		t.Fatalf("nil network err = %v", err)
+	}
+	net := singleNet(t)
+	if _, err := Run(net, Options{GOPs: -1}); !errors.Is(err, ErrBadOptions) {
+		t.Fatalf("negative GOPs err = %v", err)
+	}
+	if _, err := Run(net, Options{Scheme: Scheme(99)}); !errors.Is(err, ErrBadOptions) {
+		t.Fatalf("unknown scheme err = %v", err)
+	}
+	broken := *net
+	broken.Gamma = 2
+	if _, err := Run(&broken, Options{}); err == nil {
+		t.Fatal("invalid network accepted")
+	}
+}
+
+func TestRunDeterministicForSeed(t *testing.T) {
+	net := singleNet(t)
+	a, err := Run(net, Options{Seed: 5, GOPs: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(net, Options{Seed: 5, GOPs: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := range a.PerUserPSNR {
+		if a.PerUserPSNR[j] != b.PerUserPSNR[j] {
+			t.Fatalf("same seed diverged: %v vs %v", a.PerUserPSNR, b.PerUserPSNR)
+		}
+	}
+	c, err := Run(net, Options{Seed: 6, GOPs: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.MeanPSNR == c.MeanPSNR {
+		t.Fatal("different seeds produced identical results")
+	}
+}
+
+func TestRunBasicAccounting(t *testing.T) {
+	net := singleNet(t)
+	res, err := Run(net, Options{Seed: 1, GOPs: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.GOPs != 7 {
+		t.Fatalf("GOPs = %d, want 7", res.GOPs)
+	}
+	if res.Slots != 7*net.T {
+		t.Fatalf("Slots = %d, want %d", res.Slots, 7*net.T)
+	}
+	if len(res.PerUserPSNR) != net.K() {
+		t.Fatalf("PerUserPSNR len %d", len(res.PerUserPSNR))
+	}
+	sum := 0.0
+	for j, p := range res.PerUserPSNR {
+		alpha := net.Users[j].Seq.RD.Alpha
+		ceiling := net.Users[j].Seq.MaxPSNR()
+		if p < alpha-1e-9 || p > ceiling+1e-9 {
+			t.Fatalf("user %d PSNR %v outside [%v, %v]", j, p, alpha, ceiling)
+		}
+		sum += p
+	}
+	if math.Abs(res.MeanPSNR-sum/float64(net.K())) > 1e-9 {
+		t.Fatalf("MeanPSNR %v inconsistent", res.MeanPSNR)
+	}
+}
+
+// TestQualityImproves: with channels available, the proposed scheme must
+// deliver video above the base quality.
+func TestQualityImproves(t *testing.T) {
+	net := singleNet(t)
+	res, err := Run(net, Options{Seed: 3, GOPs: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseMean := 0.0
+	for _, u := range net.Users {
+		baseMean += u.Seq.RD.Alpha
+	}
+	baseMean /= float64(net.K())
+	if res.MeanPSNR < baseMean+1 {
+		t.Fatalf("mean PSNR %v barely above base %v: nothing delivered", res.MeanPSNR, baseMean)
+	}
+}
+
+// TestProposedBeatsHeuristicsSingle reproduces the qualitative claim of
+// Fig. 3: the proposed scheme achieves the best average quality.
+func TestProposedBeatsHeuristicsSingle(t *testing.T) {
+	net := singleNet(t)
+	means := make(map[Scheme]float64)
+	for _, sch := range []Scheme{Proposed, Heuristic1, Heuristic2} {
+		// Average a few seeds to suppress noise.
+		sum := 0.0
+		for seed := uint64(1); seed <= 5; seed++ {
+			res, err := Run(net, Options{Seed: seed, GOPs: 10, Scheme: sch})
+			if err != nil {
+				t.Fatal(err)
+			}
+			sum += res.MeanPSNR
+		}
+		means[sch] = sum / 5
+	}
+	if means[Proposed] <= means[Heuristic1] || means[Proposed] <= means[Heuristic2] {
+		t.Fatalf("proposed %v not best: H1 %v, H2 %v",
+			means[Proposed], means[Heuristic1], means[Heuristic2])
+	}
+}
+
+// TestInterferingOrderingAndBound reproduces the qualitative claims of
+// Fig. 6(a): Proposed > Heuristic 2 > Heuristic 1, and the upper bound sits
+// above the proposed curve by a small margin.
+func TestInterferingOrderingAndBound(t *testing.T) {
+	net := interferingNet(t)
+	means := make(map[Scheme]float64)
+	var bound float64
+	for _, sch := range []Scheme{Proposed, Heuristic1, Heuristic2} {
+		sum, bsum := 0.0, 0.0
+		for seed := uint64(1); seed <= 3; seed++ {
+			res, err := Run(net, Options{Seed: seed, GOPs: 4, Scheme: sch, TrackBound: sch == Proposed})
+			if err != nil {
+				t.Fatal(err)
+			}
+			sum += res.MeanPSNR
+			bsum += res.BoundPSNR
+		}
+		means[sch] = sum / 3
+		if sch == Proposed {
+			bound = bsum / 3
+		}
+	}
+	if means[Proposed] <= means[Heuristic1] || means[Proposed] <= means[Heuristic2] {
+		t.Fatalf("proposed %v not best: H1 %v, H2 %v", means[Proposed], means[Heuristic1], means[Heuristic2])
+	}
+	if means[Heuristic2] <= means[Heuristic1] {
+		t.Fatalf("paper ordering violated: H2 %v <= H1 %v", means[Heuristic2], means[Heuristic1])
+	}
+	if bound < means[Proposed] {
+		t.Fatalf("upper bound %v below proposed %v", bound, means[Proposed])
+	}
+	if bound > means[Proposed]+3 {
+		t.Fatalf("upper bound %v implausibly loose vs proposed %v", bound, means[Proposed])
+	}
+}
+
+// TestCollisionProtection: over a long run the realized collision rate
+// stays near the threshold gamma.
+func TestCollisionProtection(t *testing.T) {
+	net := singleNet(t)
+	res, err := Run(net, Options{Seed: 2, GOPs: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CollisionRate > net.Gamma+0.04 {
+		t.Fatalf("collision rate %v well above gamma %v", res.CollisionRate, net.Gamma)
+	}
+	if res.CollisionRate == 0 {
+		t.Fatal("zero collisions: access rule looks inert")
+	}
+}
+
+// TestDualTraceCapture: the Fig. 4(a) trace has the right shape — one
+// column per resource, settling over iterations.
+func TestDualTraceCapture(t *testing.T) {
+	net := singleNet(t)
+	res, err := Run(net, Options{Seed: 1, GOPs: 1, CaptureDualTrace: true, DualIterations: 600})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.DualTrace) < 100 {
+		t.Fatalf("trace has %d rows", len(res.DualTrace))
+	}
+	for _, row := range res.DualTrace {
+		if len(row) != 2 {
+			t.Fatalf("trace row has %d entries, want 2 (lambda0, lambda1)", len(row))
+		}
+		for _, l := range row {
+			if l < 0 || math.IsNaN(l) {
+				t.Fatalf("invalid dual value %v", l)
+			}
+		}
+	}
+	// Settling: late movement much smaller than early movement.
+	n := len(res.DualTrace)
+	early := math.Abs(res.DualTrace[1][0]-res.DualTrace[0][0]) +
+		math.Abs(res.DualTrace[1][1]-res.DualTrace[0][1])
+	late := math.Abs(res.DualTrace[n-1][0]-res.DualTrace[n-2][0]) +
+		math.Abs(res.DualTrace[n-1][1]-res.DualTrace[n-2][1])
+	if late > early {
+		t.Fatalf("dual trace not settling: early %v, late %v", early, late)
+	}
+}
+
+func TestDualTraceNotCapturedForHeuristics(t *testing.T) {
+	net := singleNet(t)
+	res, err := Run(net, Options{Seed: 1, GOPs: 1, Scheme: Heuristic1, CaptureDualTrace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DualTrace != nil {
+		t.Fatal("heuristic run captured a dual trace")
+	}
+}
+
+// TestUseDualSolverMatchesEquilibrium: the literal distributed algorithm
+// and the fast equilibrium solver give nearly identical quality.
+func TestUseDualSolverMatchesEquilibrium(t *testing.T) {
+	net := singleNet(t)
+	a, err := Run(net, Options{Seed: 4, GOPs: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(net, Options{Seed: 4, GOPs: 6, UseDualSolver: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a.MeanPSNR-b.MeanPSNR) > 0.3 {
+		t.Fatalf("equilibrium %v vs dual %v differ too much", a.MeanPSNR, b.MeanPSNR)
+	}
+}
+
+// TestLazyGreedyMatchesEagerInSim: toggling lazy evaluation must not change
+// simulated quality (identical allocations).
+func TestLazyGreedyMatchesEagerInSim(t *testing.T) {
+	net := interferingNet(t)
+	a, err := Run(net, Options{Seed: 4, GOPs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(net, Options{Seed: 4, GOPs: 2, DisableLazyGreedy: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a.MeanPSNR-b.MeanPSNR) > 1e-9 {
+		t.Fatalf("lazy %v vs eager %v differ", a.MeanPSNR, b.MeanPSNR)
+	}
+}
+
+// TestMoreChannelsHelp: the Fig. 4(b) trend — quality grows with M.
+func TestMoreChannelsHelp(t *testing.T) {
+	cfg := netmodel.DefaultConfig()
+	mean := func(m int) float64 {
+		cfg.M = m
+		net, err := netmodel.PaperSingleFBS(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum := 0.0
+		for seed := uint64(1); seed <= 4; seed++ {
+			res, err := Run(net, Options{Seed: seed, GOPs: 8})
+			if err != nil {
+				t.Fatal(err)
+			}
+			sum += res.MeanPSNR
+		}
+		return sum / 4
+	}
+	if lo, hi := mean(4), mean(12); lo >= hi {
+		t.Fatalf("M=4 gives %v >= M=12 gives %v; more channels must help", lo, hi)
+	}
+}
+
+// TestLowerUtilizationHelps: the Fig. 4(c)/6(a) trend — quality falls as
+// primary-user utilization rises.
+func TestLowerUtilizationHelps(t *testing.T) {
+	cfg := netmodel.DefaultConfig()
+	mean := func(eta float64) float64 {
+		c2, err := cfg.WithUtilization(eta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		net, err := netmodel.PaperSingleFBS(c2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum := 0.0
+		for seed := uint64(1); seed <= 4; seed++ {
+			res, err := Run(net, Options{Seed: seed, GOPs: 8})
+			if err != nil {
+				t.Fatal(err)
+			}
+			sum += res.MeanPSNR
+		}
+		return sum / 4
+	}
+	if lo, hi := mean(0.7), mean(0.3); lo >= hi {
+		t.Fatalf("eta=0.7 gives %v >= eta=0.3 gives %v; lower utilization must help", lo, hi)
+	}
+}
+
+// TestSensorPolicies: all assignment policies run and give sane results.
+func TestSensorPolicies(t *testing.T) {
+	net := singleNet(t)
+	for _, pol := range []sensing.AssignmentPolicy{
+		sensing.RoundRobin, sensing.RandomAssign, sensing.Stratified,
+	} {
+		res, err := Run(net, Options{Seed: 1, GOPs: 3, SensorPolicy: pol})
+		if err != nil {
+			t.Fatalf("%v: %v", pol, err)
+		}
+		if res.MeanPSNR <= 0 {
+			t.Fatalf("%v: mean PSNR %v", pol, res.MeanPSNR)
+		}
+	}
+}
+
+// TestNonInterferingMultiFBS: the Table II case runs and every FBS's users
+// get served.
+func TestNonInterferingMultiFBS(t *testing.T) {
+	trio := video.PaperTrio()
+	net, err := netmodel.NonInterfering(netmodel.DefaultConfig(), [][]video.Sequence{trio[:], trio[:]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(net, Options{Seed: 1, GOPs: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both femtocells should deliver: per-FBS mean above base.
+	for i := 1; i <= 2; i++ {
+		base, got, cnt := 0.0, 0.0, 0
+		for j, u := range net.Users {
+			if u.FBS == i {
+				base += u.Seq.RD.Alpha
+				got += res.PerUserPSNR[j]
+				cnt++
+			}
+		}
+		if got <= base {
+			t.Fatalf("FBS %d users received nothing: %v <= %v", i, got/float64(cnt), base/float64(cnt))
+		}
+	}
+}
+
+// TestExpectedChannelsDiagnostic: G_t averages within (0, M].
+func TestExpectedChannelsDiagnostic(t *testing.T) {
+	net := singleNet(t)
+	res, err := Run(net, Options{Seed: 1, GOPs: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MeanExpectedChannels <= 0 || res.MeanExpectedChannels > float64(net.Band.M()) {
+		t.Fatalf("mean expected channels %v outside (0, %d]", res.MeanExpectedChannels, net.Band.M())
+	}
+}
+
+// TestTraceRecording: the optional recorder captures every slot and user
+// event with consistent accounting.
+func TestTraceRecording(t *testing.T) {
+	net := singleNet(t)
+	var rec trace.Recorder
+	res, err := Run(net, Options{Seed: 1, GOPs: 3, Recorder: &rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	slots := rec.Slots()
+	users := rec.Users()
+	if len(slots) != res.Slots {
+		t.Fatalf("recorded %d slot events for %d slots", len(slots), res.Slots)
+	}
+	if len(users) != res.Slots*net.K() {
+		t.Fatalf("recorded %d user events, want %d", len(users), res.Slots*net.K())
+	}
+	summary := rec.Summarize()
+	if summary.Slots != res.Slots {
+		t.Fatalf("summary slots %d", summary.Slots)
+	}
+	// GOP boundaries marked every T slots.
+	gopDone := 0
+	for _, e := range users {
+		if e.GOPDone {
+			gopDone++
+		}
+	}
+	if gopDone != 3*net.K() {
+		t.Fatalf("gop-done events %d, want %d", gopDone, 3*net.K())
+	}
+	// CSV output includes all rows.
+	if got := strings.Count(rec.UserCSV(), "\n"); got != len(users)+1 {
+		t.Fatalf("user CSV rows %d", got)
+	}
+}
+
+// TestEstimatedUtilizationConverges: learning eta online costs little
+// quality versus knowing it, and protection still holds over a long run.
+func TestEstimatedUtilizationConverges(t *testing.T) {
+	net := singleNet(t)
+	var known, learned, coll float64
+	const runs = 4
+	for seed := uint64(1); seed <= runs; seed++ {
+		a, err := Run(net, Options{Seed: seed, GOPs: 50})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Run(net, Options{Seed: seed, GOPs: 50, EstimateUtilization: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		known += a.MeanPSNR
+		learned += b.MeanPSNR
+		coll += b.CollisionRate
+	}
+	known /= runs
+	learned /= runs
+	coll /= runs
+	if known-learned > 0.5 {
+		t.Fatalf("learning eta costs %v dB (known %v, learned %v)", known-learned, known, learned)
+	}
+	if coll > net.Gamma+0.06 {
+		t.Fatalf("estimated prior broke protection: %v", coll)
+	}
+}
+
+// TestAntennaDiversity: fewer FBS antennas mean fewer sensing results per
+// channel, weaker posteriors, and no better quality than full sensing.
+func TestAntennaDiversity(t *testing.T) {
+	mean := func(antennas int) float64 {
+		cfg := netmodel.DefaultConfig()
+		cfg.FBSAntennas = antennas
+		net, err := netmodel.PaperSingleFBS(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum := 0.0
+		for seed := uint64(1); seed <= 4; seed++ {
+			res, err := Run(net, Options{Seed: seed, GOPs: 15})
+			if err != nil {
+				t.Fatal(err)
+			}
+			sum += res.MeanPSNR
+		}
+		return sum / 4
+	}
+	one := mean(1)
+	full := mean(0) // 0 = all M antennas
+	if one > full+0.3 {
+		t.Fatalf("1 antenna (%v dB) beats full sensing (%v dB)", one, full)
+	}
+	// Validation: antenna counts beyond M are rejected.
+	cfg := netmodel.DefaultConfig()
+	cfg.FBSAntennas = cfg.M + 1
+	if _, err := netmodel.PaperSingleFBS(cfg); err == nil {
+		t.Fatal("antennas > M accepted")
+	}
+}
+
+// TestFairnessClaim: the paper's Fig. 3 discussion — the proposed scheme
+// distributes quality gains more evenly than Heuristic 2, whose
+// multiuser-diversity grants starve the weakest user.
+func TestFairnessClaim(t *testing.T) {
+	net := singleNet(t)
+	fairness := func(sch Scheme) float64 {
+		sum := 0.0
+		for seed := uint64(1); seed <= 5; seed++ {
+			res, err := Run(net, Options{Seed: seed, GOPs: 15, Scheme: sch})
+			if err != nil {
+				t.Fatal(err)
+			}
+			sum += res.FairnessIndex
+		}
+		return sum / 5
+	}
+	prop := fairness(Proposed)
+	h2 := fairness(Heuristic2)
+	if prop <= h2 {
+		t.Fatalf("proposed fairness %v not above Heuristic 2's %v", prop, h2)
+	}
+	if prop < 1.0/3 || prop > 1 {
+		t.Fatalf("fairness index %v outside [1/K, 1]", prop)
+	}
+}
+
+// TestOFDMScenarioRuns: the frequency-selective PHY drives the full
+// pipeline; diversity should not hurt quality at the same calibration.
+func TestOFDMScenarioRuns(t *testing.T) {
+	cfg := netmodel.DefaultConfig()
+	cfg.OFDMSubcarriers = 16
+	net, err := netmodel.PaperSingleFBS(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(net, Options{Seed: 1, GOPs: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	flatNet, err := netmodel.PaperSingleFBS(netmodel.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	flat, err := Run(flatNet, Options{Seed: 1, GOPs: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MeanPSNR < flat.MeanPSNR-0.5 {
+		t.Fatalf("OFDM %v clearly below flat Rayleigh %v", res.MeanPSNR, flat.MeanPSNR)
+	}
+}
+
+// TestSchemeFrontier: the fairness-efficiency frontier end to end —
+// max-throughput posts the best mean, proportional fairness the best
+// fairness, round robin trails on mean.
+func TestSchemeFrontier(t *testing.T) {
+	net := singleNet(t)
+	type point struct{ mean, fair float64 }
+	measure := func(sch Scheme) point {
+		var p point
+		for seed := uint64(1); seed <= 5; seed++ {
+			res, err := Run(net, Options{Seed: seed, GOPs: 15, Scheme: sch})
+			if err != nil {
+				t.Fatal(err)
+			}
+			p.mean += res.MeanPSNR / 5
+			p.fair += res.FairnessIndex / 5
+		}
+		return p
+	}
+	pf := measure(Proposed)
+	mt := measure(MaxThroughput)
+	rr := measure(RoundRobin)
+	if pf.fair <= mt.fair {
+		t.Fatalf("proportional fairness index %v not above max-throughput %v", pf.fair, mt.fair)
+	}
+	if rr.mean > pf.mean && rr.mean > mt.mean {
+		t.Fatalf("blind round robin beats both informed schemes: %v", rr.mean)
+	}
+	t.Logf("mean/fairness: PF %.2f/%.3f, MaxTP %.2f/%.3f, RR %.2f/%.3f",
+		pf.mean, pf.fair, mt.mean, mt.fair, rr.mean, rr.fair)
+}

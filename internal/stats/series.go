@@ -1,0 +1,175 @@
+package stats
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Series is one plotted curve: a named sequence of (x, Summary) points, the
+// unit of data behind every figure in the paper's evaluation section.
+type Series struct {
+	Name   string
+	X      []float64
+	Points []Summary
+}
+
+// NewSeries returns an empty Series with the given name.
+func NewSeries(name string) *Series {
+	return &Series{Name: name}
+}
+
+// Append adds one point to the series.
+func (s *Series) Append(x float64, p Summary) {
+	s.X = append(s.X, x)
+	s.Points = append(s.Points, p)
+}
+
+// Len returns the number of points.
+func (s *Series) Len() int { return len(s.X) }
+
+// At returns the i-th point.
+func (s *Series) At(i int) (float64, Summary) { return s.X[i], s.Points[i] }
+
+// Figure is a collection of curves over a shared x-axis, plus axis labels.
+// It renders to the aligned text table printed by the benchmark harness and
+// to CSV for external plotting.
+type Figure struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Curves []*Series
+}
+
+// NewFigure returns an empty figure.
+func NewFigure(title, xLabel, yLabel string) *Figure {
+	return &Figure{Title: title, XLabel: xLabel, YLabel: yLabel}
+}
+
+// Add appends a curve to the figure.
+func (f *Figure) Add(s *Series) { f.Curves = append(f.Curves, s) }
+
+// Curve returns the curve with the given name, or nil.
+func (f *Figure) Curve(name string) *Series {
+	for _, c := range f.Curves {
+		if c.Name == name {
+			return c
+		}
+	}
+	return nil
+}
+
+// xValues returns the sorted union of x values across all curves.
+func (f *Figure) xValues() []float64 {
+	seen := make(map[float64]bool)
+	var xs []float64
+	for _, c := range f.Curves {
+		for _, x := range c.X {
+			if !seen[x] {
+				seen[x] = true
+				xs = append(xs, x)
+			}
+		}
+	}
+	sort.Float64s(xs)
+	return xs
+}
+
+// Render returns an aligned text table: one row per x value, one
+// "mean +/- hw" column per curve. This is the textual equivalent of the
+// paper's figures.
+func (f *Figure) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", f.Title)
+	xs := f.xValues()
+
+	header := make([]string, 0, len(f.Curves)+1)
+	header = append(header, f.XLabel)
+	for _, c := range f.Curves {
+		header = append(header, c.Name)
+	}
+	rows := [][]string{header}
+	for _, x := range xs {
+		row := make([]string, 0, len(f.Curves)+1)
+		row = append(row, trimFloat(x))
+		for _, c := range f.Curves {
+			cell := "-"
+			for i, cx := range c.X {
+				if cx == x {
+					p := c.Points[i]
+					if p.HalfWidth > 0 {
+						cell = fmt.Sprintf("%.2f ±%.2f", p.Mean, p.HalfWidth)
+					} else {
+						cell = fmt.Sprintf("%.2f", p.Mean)
+					}
+					break
+				}
+			}
+			row = append(row, cell)
+		}
+		rows = append(rows, row)
+	}
+
+	widths := make([]int, len(header))
+	for _, row := range rows {
+		for i, cell := range row {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	for ri, row := range rows {
+		for i, cell := range row {
+			fmt.Fprintf(&b, "%-*s", widths[i]+2, cell)
+		}
+		b.WriteByte('\n')
+		if ri == 0 {
+			for _, w := range widths {
+				b.WriteString(strings.Repeat("-", w) + "  ")
+			}
+			b.WriteByte('\n')
+		}
+	}
+	fmt.Fprintf(&b, "(%s on y-axis)\n", f.YLabel)
+	return b.String()
+}
+
+// CSV returns the figure as comma-separated values with mean, lo, hi columns
+// per curve, suitable for external plotting tools.
+func (f *Figure) CSV() string {
+	var b strings.Builder
+	b.WriteString(csvEscape(f.XLabel))
+	for _, c := range f.Curves {
+		fmt.Fprintf(&b, ",%s_mean,%s_lo,%s_hi",
+			csvEscape(c.Name), csvEscape(c.Name), csvEscape(c.Name))
+	}
+	b.WriteByte('\n')
+	for _, x := range f.xValues() {
+		b.WriteString(trimFloat(x))
+		for _, c := range f.Curves {
+			found := false
+			for i, cx := range c.X {
+				if cx == x {
+					p := c.Points[i]
+					fmt.Fprintf(&b, ",%g,%g,%g", p.Mean, p.Lo(), p.Hi())
+					found = true
+					break
+				}
+			}
+			if !found {
+				b.WriteString(",,,")
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func trimFloat(x float64) string {
+	return strconv.FormatFloat(x, 'g', 6, 64)
+}
+
+func csvEscape(s string) string {
+	return strings.NewReplacer(",", ";", "\n", " ").Replace(s)
+}

@@ -1,0 +1,120 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+)
+
+func sampleFigure() *Figure {
+	f := NewFigure("Video quality vs utilization", "eta", "Y-PSNR (dB)")
+	a := NewSeries("Proposed")
+	a.Append(0.3, Summary{N: 10, Mean: 37.5, HalfWidth: 0.2})
+	a.Append(0.5, Summary{N: 10, Mean: 35.1, HalfWidth: 0.3})
+	b := NewSeries("Heuristic 1")
+	b.Append(0.3, Summary{N: 10, Mean: 34.2, HalfWidth: 0.25})
+	b.Append(0.5, Summary{N: 10, Mean: 33.0, HalfWidth: 0.15})
+	f.Add(a)
+	f.Add(b)
+	return f
+}
+
+func TestSeriesAppendAt(t *testing.T) {
+	s := NewSeries("x")
+	s.Append(1, Summary{Mean: 10})
+	s.Append(2, Summary{Mean: 20})
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", s.Len())
+	}
+	x, p := s.At(1)
+	if x != 2 || p.Mean != 20 {
+		t.Fatalf("At(1) = (%v, %v), want (2, 20)", x, p.Mean)
+	}
+}
+
+func TestFigureCurveLookup(t *testing.T) {
+	f := sampleFigure()
+	if f.Curve("Proposed") == nil {
+		t.Fatal("Curve(Proposed) not found")
+	}
+	if f.Curve("nope") != nil {
+		t.Fatal("Curve(nope) should be nil")
+	}
+}
+
+func TestFigureRenderContainsAllCells(t *testing.T) {
+	out := sampleFigure().Render()
+	for _, want := range []string{
+		"Video quality vs utilization", "eta", "Proposed", "Heuristic 1",
+		"37.50", "35.10", "34.20", "33.00", "Y-PSNR (dB)", "±0.20",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Render output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFigureRenderMissingPoint(t *testing.T) {
+	f := NewFigure("t", "x", "y")
+	a := NewSeries("A")
+	a.Append(1, Summary{Mean: 5})
+	b := NewSeries("B")
+	b.Append(2, Summary{Mean: 6})
+	f.Add(a)
+	f.Add(b)
+	out := f.Render()
+	if !strings.Contains(out, "-") {
+		t.Fatalf("missing points should render as '-':\n%s", out)
+	}
+}
+
+func TestFigureCSV(t *testing.T) {
+	out := sampleFigure().CSV()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("CSV has %d lines, want 3:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "eta,Proposed_mean,Proposed_lo,Proposed_hi") {
+		t.Fatalf("bad CSV header: %s", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "0.3,") {
+		t.Fatalf("x values not sorted first: %s", lines[1])
+	}
+	// lo/hi must bracket mean in every row.
+	if !strings.Contains(lines[1], "37.5,37.3") {
+		t.Fatalf("expected lo bound 37.3 in row: %s", lines[1])
+	}
+}
+
+func TestFigureCSVEscapesCommas(t *testing.T) {
+	f := NewFigure("t", "x,axis", "y")
+	s := NewSeries("a,b")
+	s.Append(1, Summary{Mean: 2})
+	f.Add(s)
+	out := f.CSV()
+	header := strings.Split(out, "\n")[0]
+	if got := strings.Count(header, ","); got != 3 {
+		t.Fatalf("header has %d commas, want 3 (names must be escaped): %s", got, header)
+	}
+}
+
+func TestFigureXValuesSortedUnion(t *testing.T) {
+	f := NewFigure("t", "x", "y")
+	a := NewSeries("A")
+	a.Append(3, Summary{})
+	a.Append(1, Summary{})
+	b := NewSeries("B")
+	b.Append(2, Summary{})
+	b.Append(1, Summary{})
+	f.Add(a)
+	f.Add(b)
+	xs := f.xValues()
+	want := []float64{1, 2, 3}
+	if len(xs) != len(want) {
+		t.Fatalf("xValues = %v, want %v", xs, want)
+	}
+	for i := range want {
+		if xs[i] != want[i] {
+			t.Fatalf("xValues = %v, want %v", xs, want)
+		}
+	}
+}
