@@ -18,6 +18,7 @@ import (
 
 	"femtocr/internal/netmodel"
 	"femtocr/internal/packetsim"
+	"femtocr/internal/safeio"
 	"femtocr/internal/sim"
 	"femtocr/internal/stats"
 	"femtocr/internal/trace"
@@ -31,7 +32,11 @@ func main() {
 	}
 }
 
-func run(args []string, out io.Writer) error {
+func run(args []string, w io.Writer) error {
+	// All report output funnels through a sticky-error writer: fmt.Fprintf
+	// errors are recorded once and surfaced at the end instead of being
+	// checked (or dropped) at every call site.
+	out := safeio.NewWriter(w)
 	fs := flag.NewFlagSet("femtosim", flag.ContinueOnError)
 	fs.SetOutput(out)
 	var (
@@ -194,11 +199,11 @@ func run(args []string, out io.Writer) error {
 			return err
 		}
 	}
-	return nil
+	return out.Err()
 }
 
 // runPackets drives the packet-level engine and prints its statistics.
-func runPackets(out io.Writer, net *netmodel.Network, sch sim.Scheme, seed uint64, runs, gops int) error {
+func runPackets(out *safeio.Writer, net *netmodel.Network, sch sim.Scheme, seed uint64, runs, gops int) error {
 	var meanAcc stats.Running
 	var sent, retrans, dropped, bytes int
 	for r := 0; r < runs; r++ {
@@ -219,5 +224,5 @@ func runPackets(out io.Writer, net *netmodel.Network, sch sim.Scheme, seed uint6
 	fmt.Fprintf(out, "packet-level mean Y-PSNR: %.2f dB over %d runs\n", meanAcc.Mean(), runs)
 	fmt.Fprintf(out, "fragments sent %d, retransmissions %d, overdue drops %d, delivered %d bytes\n",
 		sent, retrans, dropped, bytes)
-	return nil
+	return out.Err()
 }

@@ -1,0 +1,41 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestSuiteRunsCleanOnRepo is the CI gate: femtovet over the module must
+// exit 0 with no output.
+func TestSuiteRunsCleanOnRepo(t *testing.T) {
+	var out, errb strings.Builder
+	code := run(&out, &errb, []string{"../..."})
+	if code != 0 {
+		t.Fatalf("femtovet exit %d\nstdout:\n%s\nstderr:\n%s", code, out.String(), errb.String())
+	}
+	if out.String() != "" {
+		t.Fatalf("expected no findings, got:\n%s", out.String())
+	}
+}
+
+func TestListAnalyzers(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run(&out, &errb, []string{"-list"}); code != 0 {
+		t.Fatalf("exit %d: %s", code, errb.String())
+	}
+	for _, name := range []string{"randsource", "mapiter", "floateq", "probrange", "errdrop"} {
+		if !strings.Contains(out.String(), name) {
+			t.Errorf("-list output missing %s:\n%s", name, out.String())
+		}
+	}
+}
+
+func TestOnlySelectsAnalyzers(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run(&out, &errb, []string{"-only", "randsource,floateq", "../..."}); code != 0 {
+		t.Fatalf("exit %d\nstdout:\n%s\nstderr:\n%s", code, out.String(), errb.String())
+	}
+	if code := run(&out, &errb, []string{"-only", "nosuch"}); code != 2 {
+		t.Fatalf("unknown analyzer: exit %d, want 2", code)
+	}
+}

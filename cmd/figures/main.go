@@ -17,6 +17,7 @@ import (
 	"strings"
 
 	"femtocr/internal/experiments"
+	"femtocr/internal/safeio"
 	"femtocr/internal/stats"
 )
 
@@ -27,7 +28,10 @@ func main() {
 	}
 }
 
-func run(args []string, out io.Writer) error {
+func run(args []string, w io.Writer) error {
+	// Sticky-error writer: report output errors are recorded once and
+	// surfaced at the end instead of being dropped per call.
+	out := safeio.NewWriter(w)
 	fs := flag.NewFlagSet("figures", flag.ContinueOnError)
 	fs.SetOutput(out)
 	var (
@@ -70,7 +74,7 @@ func run(args []string, out io.Writer) error {
 				return err
 			}
 		}
-		return nil
+		return out.Err()
 	case "all":
 		all, err := experiments.All(p)
 		if err != nil {
@@ -163,5 +167,5 @@ func run(args []string, out io.Writer) error {
 			fmt.Fprintf(out, "wrote %s and %s\n\n", txt, csv)
 		}
 	}
-	return nil
+	return out.Err()
 }

@@ -17,6 +17,7 @@ import (
 
 	"femtocr/internal/geometry"
 	"femtocr/internal/igraph"
+	"femtocr/internal/safeio"
 )
 
 func main() {
@@ -26,7 +27,9 @@ func main() {
 	}
 }
 
-func run(args []string, out io.Writer) error {
+func run(args []string, w io.Writer) error {
+	// Sticky-error writer: output errors surface once, at the end.
+	out := safeio.NewWriter(w)
 	fs := flag.NewFlagSet("igraphtool", flag.ContinueOnError)
 	fs.SetOutput(out)
 	var (
@@ -64,7 +67,7 @@ func run(args []string, out io.Writer) error {
 	g := igraph.FromCoverage(disks)
 	if *dot {
 		fmt.Fprint(out, g.DOT("interference"))
-		return nil
+		return out.Err()
 	}
 
 	fmt.Fprint(out, g.String())
@@ -78,5 +81,5 @@ func run(args []string, out io.Writer) error {
 	fmt.Fprintln(out)
 	comps := g.Components()
 	fmt.Fprintf(out, "%d connected component(s)\n", len(comps))
-	return nil
+	return out.Err()
 }

@@ -16,6 +16,7 @@ import (
 	"io"
 	"os"
 
+	"femtocr/internal/safeio"
 	"femtocr/internal/video"
 )
 
@@ -26,7 +27,9 @@ func main() {
 	}
 }
 
-func run(args []string, out io.Writer) error {
+func run(args []string, w io.Writer) error {
+	// Sticky-error writer: output errors surface once, at the end.
+	out := safeio.NewWriter(w)
 	fs := flag.NewFlagSet("psnrtrace", flag.ContinueOnError)
 	fs.SetOutput(out)
 	var (
@@ -46,7 +49,7 @@ func run(args []string, out io.Writer) error {
 			fmt.Fprintf(out, "%-8s  %5.1f  %6.1f  %6.2f Mb  %6.1f dB\n",
 				s.Name, s.RD.Alpha, s.RD.Beta, s.MaxRateMbps, s.MaxPSNR())
 		}
-		return nil
+		return out.Err()
 	}
 
 	seq, err := video.SequenceByName(*seqName)
@@ -59,7 +62,7 @@ func run(args []string, out io.Writer) error {
 		for r := 0.0; r <= seq.MaxRateMbps+1e-9; r += seq.MaxRateMbps / 10 {
 			fmt.Fprintf(out, "  %.3f Mbps -> %.2f dB\n", r, seq.RD.PSNR(r))
 		}
-		return nil
+		return out.Err()
 	}
 
 	g, err := video.BuildGOP(seq, *gopSize, *layers, *rate)
@@ -88,5 +91,5 @@ func run(args []string, out io.Writer) error {
 		n := int(frac * float64(len(order)))
 		fmt.Fprintf(out, "  %3.0f%% of units -> %.2f dB\n", frac*100, g.DecodablePSNR(n))
 	}
-	return nil
+	return out.Err()
 }

@@ -2,6 +2,7 @@ package femtocr
 
 import (
 	"math"
+	"reflect"
 	"testing"
 )
 
@@ -64,6 +65,98 @@ func TestFacadeAblations(t *testing.T) {
 	}
 	if cmp.String() == "" {
 		t.Fatal("empty comparison")
+	}
+}
+
+func TestFacadeBeliefAblation(t *testing.T) {
+	p := QuickScale()
+	p.GOPs = 2
+	fig, err := AblationBelief(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Curves) == 0 {
+		t.Fatal("empty belief-ablation figure")
+	}
+}
+
+func TestFacadeGammaTradeoff(t *testing.T) {
+	p := QuickScale()
+	p.GOPs = 2
+	fig, err := GammaTradeoff(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Curves) == 0 {
+		t.Fatal("empty gamma-tradeoff figure")
+	}
+	for _, c := range fig.Curves {
+		if len(c.X) == 0 {
+			t.Fatalf("curve %q has no points", c.Name)
+		}
+	}
+}
+
+func TestFacadeEngineComparison(t *testing.T) {
+	p := QuickScale()
+	p.GOPs = 2
+	fig, err := EngineComparison(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Curves) == 0 {
+		t.Fatal("empty engine-comparison figure")
+	}
+}
+
+func TestFacadeUserCapacity(t *testing.T) {
+	p := QuickScale()
+	p.GOPs = 2
+	fig, err := UserCapacity(p, []int{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Curves) == 0 {
+		t.Fatal("empty user-capacity figure")
+	}
+	for _, c := range fig.Curves {
+		if len(c.X) != 2 {
+			t.Fatalf("curve %q has %d points, want 2", c.Name, len(c.X))
+		}
+	}
+}
+
+// TestSimulateDeterminism is the determinism regression the femtovet suite
+// exists to protect: two runs with the same seed must produce structurally
+// identical results, bit for bit.
+func TestSimulateDeterminism(t *testing.T) {
+	net, err := SingleFBSNetwork(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := SimOptions{Seed: 42, GOPs: 4, TrackBound: false}
+	a, err := Simulate(net, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Simulate(net, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same seed, different results:\nfirst:  %+v\nsecond: %+v", a, b)
+	}
+
+	pa, err := SimulatePackets(net, PacketOptions{Seed: 42, GOPs: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pb, err := SimulatePackets(net, PacketOptions{Seed: 42, GOPs: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(pa, pb) {
+		t.Fatalf("packet engine: same seed, different results:\nfirst:  %+v\nsecond: %+v", pa, pb)
 	}
 }
 

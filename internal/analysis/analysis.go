@@ -1,0 +1,210 @@
+// Package analysis is femtocr's domain-aware static-analysis suite.
+//
+// The Go compiler cannot check the properties this reproduction actually
+// depends on: every stochastic draw must flow through internal/rng so runs
+// are bit-reproducible, probabilities must stay in [0, 1] for the Bayesian
+// fusion and collision-bound access decisions, floating-point comparisons in
+// the solvers must use tolerances, and map iteration must not leak Go's
+// randomized ordering into results. Each analyzer in this package enforces
+// one such invariant; cmd/femtovet drives the suite over the module and
+// exits nonzero on any finding so it can gate CI.
+//
+// The package is dependency-free by construction: it uses only the standard
+// library's go/parser, go/ast, and go/types, so the module stays
+// offline-buildable.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding reported by an analyzer.
+type Diagnostic struct {
+	Pos      token.Position // resolved file:line:column
+	Analyzer string         // name of the reporting analyzer
+	Message  string
+}
+
+// String formats the diagnostic in the conventional file:line:col form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// Analyzer is one check of the suite. Run inspects a type-checked package
+// and reports findings through the Pass.
+type Analyzer struct {
+	Name string // short lowercase identifier, e.g. "randsource"
+	Doc  string // one-line description of the enforced invariant
+	Run  func(*Pass)
+}
+
+// Pass carries one type-checked package through one analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	Module   string // module path, e.g. "femtocr"
+	Path     string // package import path, e.g. "femtocr/internal/core"
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+
+	diags   []Diagnostic
+	ignores map[string]map[int]bool // filename -> suppressed line -> present
+}
+
+// Rel returns the package path relative to the module root ("" for the root
+// package). Path-scoped policies (the randsource allowlist) key off this.
+func (p *Pass) Rel() string {
+	if p.Path == p.Module {
+		return ""
+	}
+	return strings.TrimPrefix(p.Path, p.Module+"/")
+}
+
+// Reportf records a finding at pos unless a //femtovet:ignore directive
+// suppresses it.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	if lines, ok := p.ignores[position.Filename]; ok && lines[position.Line] {
+		return
+	}
+	p.diags = append(p.diags, Diagnostic{
+		Pos:      position,
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// collectIgnores scans file comments for femtovet:ignore directives. A
+// directive suppresses diagnostics on its own line (trailing comment) and on
+// the following line (standalone comment).
+func (p *Pass) collectIgnores() {
+	p.ignores = make(map[string]map[int]bool)
+	for _, f := range p.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				if !strings.HasPrefix(text, "femtovet:ignore") {
+					continue
+				}
+				rest := strings.TrimSpace(strings.TrimPrefix(text, "femtovet:ignore"))
+				if rest != "" && !directiveCovers(rest, p.Analyzer.Name) {
+					continue
+				}
+				pos := p.Fset.Position(c.Pos())
+				if p.ignores[pos.Filename] == nil {
+					p.ignores[pos.Filename] = make(map[int]bool)
+				}
+				p.ignores[pos.Filename][pos.Line] = true
+				p.ignores[pos.Filename][pos.Line+1] = true
+			}
+		}
+	}
+}
+
+// directiveCovers reports whether a comma-separated analyzer list names the
+// given analyzer.
+func directiveCovers(list, name string) bool {
+	for _, part := range strings.Split(list, ",") {
+		if strings.TrimSpace(part) == name {
+			return true
+		}
+	}
+	return false
+}
+
+// All returns the full analyzer suite in reporting order.
+func All() []*Analyzer {
+	return []*Analyzer{RandSource, MapIter, FloatEq, ProbRange, ErrDrop}
+}
+
+// ByName returns the named analyzer, or nil.
+func ByName(name string) *Analyzer {
+	for _, a := range All() {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}
+
+// RunAnalyzers applies each analyzer to each package and returns all
+// findings sorted by file, line, column, and analyzer name.
+func RunAnalyzers(m *Module, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range m.Packages {
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer: a,
+				Module:   m.Path,
+				Path:     pkg.Path,
+				Fset:     m.Fset,
+				Files:    pkg.Files,
+				Pkg:      pkg.Pkg,
+				Info:     pkg.Info,
+			}
+			pass.collectIgnores()
+			a.Run(pass)
+			diags = append(diags, pass.diags...)
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags
+}
+
+// funcFor returns the innermost function declaration or literal enclosing
+// pos in file, preferring the most deeply nested.
+func enclosingFuncName(file *ast.File, pos token.Pos) string {
+	name := ""
+	ast.Inspect(file, func(n ast.Node) bool {
+		if n == nil {
+			return false
+		}
+		if n.Pos() > pos || n.End() <= pos {
+			// Not an ancestor; skip its subtree entirely.
+			if n.Pos() > pos {
+				return false
+			}
+			return true
+		}
+		if fd, ok := n.(*ast.FuncDecl); ok {
+			name = fd.Name.Name
+		}
+		return true
+	})
+	return name
+}
+
+// calleeFunc resolves the called function object of a call expression, or
+// nil for builtins, type conversions, and indirect calls through values.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if f, ok := info.Uses[fun].(*types.Func); ok {
+			return f
+		}
+	case *ast.SelectorExpr:
+		if f, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return f
+		}
+	}
+	return nil
+}

@@ -1,0 +1,78 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strings"
+)
+
+// FloatEq flags == and != between floating-point operands outside approved
+// comparison helpers and test files. Exact float equality silently breaks
+// the dual/greedy convergence checks and the Theorem 2 / eq. (23) bound
+// validation, where accumulated rounding makes bit-equality meaningless.
+var FloatEq = &Analyzer{
+	Name: "floateq",
+	Doc:  "exact ==/!= between floating-point values outside approved tolerance helpers",
+	Run:  runFloatEq,
+}
+
+// approvedHelperRx matches the names of functions whose whole purpose is
+// float comparison: the exact equality inside them is the implementation of
+// the tolerance check itself.
+var approvedHelperRx = regexp.MustCompile(`(?i)(approx|almost|close|near|within|toleran)`)
+
+func runFloatEq(pass *Pass) {
+	for _, file := range pass.Files {
+		if strings.HasSuffix(pass.Fset.Position(file.Pos()).Filename, "_test.go") {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			xt := pass.Info.Types[be.X]
+			yt := pass.Info.Types[be.Y]
+			if !isFloat(xt.Type) && !isFloat(yt.Type) {
+				return true
+			}
+			if xt.Value != nil && yt.Value != nil {
+				return true // constant-folded at compile time; deterministic
+			}
+			// Comparison against exact zero is a semantically exact idiom,
+			// not a rounding hazard: absorbing states (odds == 0), unset
+			// config-field sentinels, and division guards all rely on the
+			// one float value that arithmetic preserves exactly.
+			if isZeroConst(xt) || isZeroConst(yt) {
+				return true
+			}
+			if approvedHelperRx.MatchString(enclosingFuncName(file, be.Pos())) {
+				return true
+			}
+			pass.Reportf(be.Pos(), "exact floating-point %s comparison; use a tolerance (math.Abs(a-b) <= eps) or an approved helper", be.Op)
+			return true
+		})
+	}
+}
+
+func isZeroConst(tv types.TypeAndValue) bool {
+	if tv.Value == nil {
+		return false
+	}
+	switch tv.Value.Kind() {
+	case constant.Int, constant.Float:
+		return constant.Sign(tv.Value) == 0
+	}
+	return false
+}
+
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}

@@ -1,0 +1,153 @@
+package analysis
+
+import (
+	"go/parser"
+	"os"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// The fixture harness: each testdata file is parsed and type-checked as a
+// standalone package (imports resolve through the loaded module, so fixtures
+// may import both stdlib and femtocr packages), one analyzer runs over it,
+// and its diagnostics are matched line-by-line against `// want "regexp"`
+// comments. A fixture with no want comments asserts the analyzer stays
+// silent.
+//
+// An optional first-line directive `//femtovet:fixturepath <import path>`
+// sets the package path the analyzer sees, which the path-scoped randsource
+// policy keys off.
+
+var (
+	moduleOnce sync.Once
+	moduleVal  *Module
+	moduleErr  error
+)
+
+func loadTestModule(t *testing.T) *Module {
+	t.Helper()
+	moduleOnce.Do(func() {
+		moduleVal, moduleErr = LoadModule(".")
+	})
+	if moduleErr != nil {
+		t.Fatalf("LoadModule: %v", moduleErr)
+	}
+	return moduleVal
+}
+
+var (
+	wantRx        = regexp.MustCompile(`// want "([^"]*)"`)
+	fixturePathRx = regexp.MustCompile(`//femtovet:fixturepath (\S+)`)
+)
+
+func runFixture(t *testing.T, a *Analyzer, filename string) {
+	t.Helper()
+	m := loadTestModule(t)
+
+	src, err := readFixture(filename)
+	if err != nil {
+		t.Fatalf("read %s: %v", filename, err)
+	}
+	path := "femtocr/fixture"
+	if match := fixturePathRx.FindStringSubmatch(src); match != nil {
+		path = match[1]
+	}
+
+	file, err := parser.ParseFile(m.Fset, filename, src, parser.ParseComments|parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatalf("parse %s: %v", filename, err)
+	}
+	pkg, err := m.CheckFile(path, file)
+	if err != nil {
+		t.Fatalf("typecheck %s: %v", filename, err)
+	}
+
+	pass := &Pass{
+		Analyzer: a,
+		Module:   m.Path,
+		Path:     path,
+		Fset:     m.Fset,
+		Files:    pkg.Files,
+		Pkg:      pkg.Pkg,
+		Info:     pkg.Info,
+	}
+	pass.collectIgnores()
+	a.Run(pass)
+
+	wants := make(map[int]*regexp.Regexp)
+	for i, line := range strings.Split(src, "\n") {
+		if match := wantRx.FindStringSubmatch(line); match != nil {
+			rx, err := regexp.Compile(match[1])
+			if err != nil {
+				t.Fatalf("%s:%d: bad want regexp %q: %v", filename, i+1, match[1], err)
+			}
+			wants[i+1] = rx
+		}
+	}
+
+	matched := make(map[int]bool)
+	for _, d := range pass.diags {
+		rx, ok := wants[d.Pos.Line]
+		switch {
+		case !ok:
+			t.Errorf("%s:%d: unexpected diagnostic: %s", filename, d.Pos.Line, d.Message)
+		case !rx.MatchString(d.Message):
+			t.Errorf("%s:%d: diagnostic %q does not match want %q", filename, d.Pos.Line, d.Message, rx)
+		default:
+			matched[d.Pos.Line] = true
+		}
+	}
+	for line, rx := range wants {
+		if !matched[line] {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", filename, line, rx)
+		}
+	}
+}
+
+func TestRandSourceFixtures(t *testing.T) {
+	runFixture(t, RandSource, "testdata/randsource_flag.go")
+	runFixture(t, RandSource, "testdata/randsource_clean.go")
+}
+
+func TestMapIterFixtures(t *testing.T) {
+	runFixture(t, MapIter, "testdata/mapiter_flag.go")
+	runFixture(t, MapIter, "testdata/mapiter_clean.go")
+}
+
+func TestFloatEqFixtures(t *testing.T) {
+	runFixture(t, FloatEq, "testdata/floateq_flag.go")
+	runFixture(t, FloatEq, "testdata/floateq_clean.go")
+}
+
+func TestProbRangeFixtures(t *testing.T) {
+	runFixture(t, ProbRange, "testdata/probrange_flag.go")
+	runFixture(t, ProbRange, "testdata/probrange_clean.go")
+}
+
+func TestErrDropFixtures(t *testing.T) {
+	runFixture(t, ErrDrop, "testdata/errdrop_flag.go")
+	runFixture(t, ErrDrop, "testdata/errdrop_clean.go")
+}
+
+// TestIgnoreDirective: a femtovet:ignore comment suppresses the named
+// analyzer on its line and the next.
+func TestIgnoreDirective(t *testing.T) {
+	runFixture(t, FloatEq, "testdata/ignore_directive.go")
+}
+
+// TestSuiteCleanOnModule is the merge gate in miniature: the analyzer suite
+// must report zero findings on femtocr's own tree.
+func TestSuiteCleanOnModule(t *testing.T) {
+	m := loadTestModule(t)
+	diags := RunAnalyzers(m, All())
+	for _, d := range diags {
+		t.Errorf("unexpected finding: %s", d.String())
+	}
+}
+
+func readFixture(filename string) (string, error) {
+	data, err := os.ReadFile(filename)
+	return string(data), err
+}

@@ -1,0 +1,165 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+	"unicode"
+)
+
+// ProbRange flags numeric constants outside [0, 1] flowing into parameters
+// or struct fields whose names follow probability conventions. A single
+// out-of-range posterior corrupts the Bayesian fusion (eqs. 5-7) and every
+// collision-bound access decision downstream (eqs. 8-9).
+var ProbRange = &Analyzer{
+	Name: "probrange",
+	Doc:  "numeric constants outside [0,1] passed to probability-named parameters or fields",
+	Run:  runProbRange,
+}
+
+// probWords are the name segments (after camel-case and underscore
+// splitting) that mark a value as a probability.
+var probWords = map[string]bool{
+	"prob":          true,
+	"probability":   true,
+	"probabilities": true,
+	"pfa":           true,
+	"pmd":           true,
+	"posterior":     true,
+	"posteriors":    true,
+	"alpha":         true,
+	"beta":          true,
+}
+
+func runProbRange(pass *Pass) {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.CallExpr:
+				checkProbCall(pass, x)
+			case *ast.CompositeLit:
+				checkProbComposite(pass, x)
+			}
+			return true
+		})
+	}
+}
+
+func checkProbCall(pass *Pass, call *ast.CallExpr) {
+	funTV, ok := pass.Info.Types[ast.Unparen(call.Fun)]
+	if !ok || funTV.IsType() {
+		return // type conversion, not a call
+	}
+	sig, ok := funTV.Type.(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	if params == nil {
+		return
+	}
+	for i, arg := range call.Args {
+		idx := i
+		if sig.Variadic() && idx >= params.Len()-1 {
+			idx = params.Len() - 1
+		}
+		if idx >= params.Len() {
+			break
+		}
+		name := params.At(idx).Name()
+		if !probName(name, false) {
+			continue
+		}
+		if v, out := constOutOfUnit(pass.Info, arg); out {
+			pass.Reportf(arg.Pos(), "constant %s passed to probability parameter %q; probabilities must lie in [0,1]", v, name)
+		}
+	}
+}
+
+func checkProbComposite(pass *Pass, lit *ast.CompositeLit) {
+	for _, elt := range lit.Elts {
+		kv, ok := elt.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		key, ok := kv.Key.(*ast.Ident)
+		if !ok || !probName(key.Name, true) {
+			continue
+		}
+		if v, out := constOutOfUnit(pass.Info, kv.Value); out {
+			pass.Reportf(kv.Value.Pos(), "constant %s assigned to probability field %q; probabilities must lie in [0,1]", v, key.Name)
+		}
+	}
+}
+
+// probName reports whether a parameter or field name follows the
+// probability conventions. The exported struct fields Alpha and Beta are
+// exempt: in this codebase they are the rate-distortion model coefficients
+// of eq. (9) (PSNR offsets and slopes, legitimately outside [0,1]), whereas
+// lowercase alpha/beta parameters follow the probability convention.
+func probName(name string, isField bool) bool {
+	if isField && (name == "Alpha" || name == "Beta") {
+		return false
+	}
+	for _, w := range splitWords(name) {
+		if probWords[w] {
+			return true
+		}
+	}
+	return false
+}
+
+// splitWords lowers a camelCase, SCREAMING, or snake_case identifier into
+// its word segments: "SensingPFA" -> [sensing pfa], "p_fa" -> [p fa].
+func splitWords(name string) []string {
+	var words []string
+	var cur strings.Builder
+	flush := func() {
+		if cur.Len() > 0 {
+			words = append(words, strings.ToLower(cur.String()))
+			cur.Reset()
+		}
+	}
+	runes := []rune(name)
+	for i, r := range runes {
+		switch {
+		case r == '_':
+			flush()
+		case unicode.IsUpper(r):
+			// Boundary at lower->Upper, and at the last upper of an
+			// acronym run followed by a lower (e.g. "PFAValue" -> PFA Value).
+			if i > 0 && (unicode.IsLower(runes[i-1]) ||
+				(i+1 < len(runes) && unicode.IsLower(runes[i+1]) && unicode.IsUpper(runes[i-1]))) {
+				flush()
+			}
+			cur.WriteRune(r)
+		default:
+			cur.WriteRune(r)
+		}
+	}
+	flush()
+	return words
+}
+
+// constOutOfUnit reports whether expr is a compile-time numeric constant
+// outside [0, 1], returning its rendering.
+func constOutOfUnit(info *types.Info, expr ast.Expr) (string, bool) {
+	tv, ok := info.Types[expr]
+	if !ok || tv.Value == nil {
+		return "", false
+	}
+	v := tv.Value
+	if v.Kind() != constant.Int && v.Kind() != constant.Float {
+		return "", false
+	}
+	if constant.Compare(v, token.LSS, constant.MakeInt64(0)) ||
+		constant.Compare(v, token.GTR, constant.MakeInt64(1)) {
+		// String() renders floats as short decimals (1.7), where
+		// ExactString() would print the exact rational
+		// (7656119366529843/4503599627370496) — useless in a diagnostic.
+		return v.String(), true
+	}
+	return "", false
+}

@@ -1,0 +1,14 @@
+//femtovet:fixturepath femtocr/internal/core
+
+// The suppression mechanism: a femtovet:ignore directive silences the named
+// analyzer on its line; naming a different analyzer does not.
+package fixture
+
+func comparatorTie(a, b float64) bool {
+	return a != b //femtovet:ignore floateq
+}
+
+func stillFlagged(a, b float64) bool {
+	// The directive below names a different analyzer, so floateq still fires.
+	return a == b //femtovet:ignore errdrop // want "exact floating-point"
+}

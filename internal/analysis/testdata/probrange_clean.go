@@ -1,0 +1,31 @@
+//femtovet:fixturepath femtocr/internal/sensing
+
+// Clean: in-range constants, runtime values, non-probability parameters,
+// and the exported rate-distortion Alpha/Beta fields (PSNR coefficients,
+// legitimately above 1) are all acceptable.
+package fixture
+
+type Detector struct {
+	PFA float64
+	PMD float64
+}
+
+type RateDistortion struct {
+	Alpha float64
+	Beta  float64
+}
+
+func setFalseAlarm(pfa float64) Detector {
+	return Detector{PFA: pfa, PMD: 0.3}
+}
+
+func scale(gainDB float64) float64 {
+	return gainDB * 10
+}
+
+func ok(measured float64) float64 {
+	d := setFalseAlarm(0.05)
+	rd := RateDistortion{Alpha: 30.5, Beta: 12.8}
+	_ = setFalseAlarm(measured)
+	return d.PMD + rd.Alpha + scale(40)
+}

@@ -1,0 +1,26 @@
+//femtovet:fixturepath femtocr/internal/sensing
+
+// Seeded violations: constants outside [0,1] flowing into
+// probability-named parameters and fields.
+package fixture
+
+type Detector struct {
+	PFA float64
+	PMD float64
+}
+
+func setFalseAlarm(pfa float64) Detector {
+	return Detector{
+		PFA: pfa,
+		PMD: 1.5, // want "probability field .PMD."
+	}
+}
+
+func fuse(posterior float64, weight float64) float64 {
+	return posterior * weight
+}
+
+func bad() float64 {
+	d := setFalseAlarm(-0.3) // want "probability parameter .pfa."
+	return fuse(2, d.PFA)    // want "probability parameter .posterior."
+}

@@ -1,8 +1,12 @@
 package core
 
 import (
+	"errors"
 	"math"
 	"testing"
+
+	"femtocr/internal/igraph"
+	"femtocr/internal/rng"
 )
 
 // FuzzWaterfill hunts for inputs where the bisection produces negative
@@ -10,6 +14,12 @@ import (
 func FuzzWaterfill(f *testing.F) {
 	f.Add(0.9, 30.0, 0.3, -1.0, 0.5, 25.0, 0.2, 0.4, 1.0)
 	f.Add(0.0, 30.0, 0.0, 0.0, 1.0, 20.0, 0.5, -1.0, 0.5)
+	// Degenerate corners: all-busy channels (every success probability 0),
+	// perfect sensing (probabilities pinned to exactly 0 or 1, the PFA=PMD=0
+	// posterior values), and a zero budget.
+	f.Add(0.0, 30.0, 0.3, -1.0, 0.0, 25.0, 0.2, 0.4, 1.0)
+	f.Add(1.0, 30.0, 0.3, 10.0, 0.0, 25.0, 0.2, 0.4, 2.0)
+	f.Add(0.9, 30.0, 0.3, -1.0, 0.5, 25.0, 0.2, 0.4, 0.0)
 	f.Fuzz(func(t *testing.T, ps1, w1, r1, cap1, ps2, w2, r2, cap2, budget float64) {
 		for _, v := range []float64{ps1, w1, r1, cap1, ps2, w2, r2, cap2, budget} {
 			if math.IsNaN(v) || math.IsInf(v, 0) {
@@ -55,6 +65,94 @@ func FuzzWaterfill(f *testing.F) {
 		}
 		if total > b+1e-6 {
 			t.Fatalf("total %v exceeds budget %v", total, b)
+		}
+	})
+}
+
+// FuzzGreedyChannels throws degenerate channel-allocation problems at Table
+// III: zero users (must fail validation, never panic), all-busy channels
+// (every posterior 0), perfect-sensing posteriors pinned to 0 or 1 (the
+// PFA=PMD=0 fusion output), and arbitrary small graphs. For valid instances
+// it checks the eq. (23) bound ordering, interference feasibility of the
+// assignment, and NaN-freedom.
+func FuzzGreedyChannels(f *testing.F) {
+	// seed, usersPerFBS, nFBS, channels, posterior override (-1: random),
+	// complete graph (vs path), lazy evaluation.
+	f.Add(uint64(1), 1, 3, 2, -1.0, false, false)
+	f.Add(uint64(2), 0, 2, 2, 0.5, false, false) // zero users
+	f.Add(uint64(3), 2, 2, 3, 0.0, false, true)  // all channels busy
+	f.Add(uint64(4), 2, 3, 2, 1.0, true, true)   // perfect sensing, clique
+	f.Add(uint64(5), 1, 1, 4, 0.25, false, false)
+	f.Fuzz(func(t *testing.T, seed uint64, usersPerFBS, nFBS, channels int, post float64, clique, lazy bool) {
+		if nFBS < 1 || nFBS > 3 || usersPerFBS < 0 || usersPerFBS > 2 || channels < 0 || channels > 3 {
+			return
+		}
+		if math.IsNaN(post) || post > 1 {
+			return
+		}
+		s := rng.New(seed)
+		k := nFBS * usersPerFBS
+		in := randomInstance(s, k, nFBS)
+		in.G = make([]float64, nFBS) // greedy determines G
+		for j := 0; j < k; j++ {
+			in.FBS[j] = j/max(usersPerFBS, 1) + 1
+		}
+		graph := igraph.Path(nFBS)
+		if clique {
+			graph = igraph.Complete(nFBS)
+		}
+		chs := make([]int, channels)
+		posts := make([]float64, channels)
+		for c := range chs {
+			chs[c] = c + 1
+			if post < 0 {
+				posts[c] = s.Float64()
+			} else {
+				posts[c] = post
+			}
+		}
+		p := &ChannelProblem{Base: in, Graph: graph, Channels: chs, Posteriors: posts}
+
+		g := NewGreedyAllocator(nil)
+		if lazy {
+			g = NewGreedyAllocator(nil, WithLazyEvaluation())
+		}
+		res, err := g.Allocate(p)
+		if k == 0 {
+			if !errors.Is(err, ErrBadInstance) {
+				t.Fatalf("zero users: err = %v, want ErrBadInstance", err)
+			}
+			return
+		}
+		if err != nil {
+			t.Fatalf("Allocate: %v", err)
+		}
+		if math.IsNaN(res.Value) || math.IsNaN(res.UpperBound) || math.IsNaN(res.PaperUpperBound) {
+			t.Fatalf("NaN in results: %+v", res)
+		}
+		const tol = 1e-6
+		if res.Value > res.UpperBound+tol {
+			t.Fatalf("value %v exceeds tightened bound %v", res.Value, res.UpperBound)
+		}
+		if res.UpperBound > res.PaperUpperBound+tol {
+			t.Fatalf("tightened bound %v exceeds eq. (23) bound %v", res.UpperBound, res.PaperUpperBound)
+		}
+		for i, g := range res.G {
+			if g < 0 || math.IsNaN(g) {
+				t.Fatalf("G[%d] = %v", i, g)
+			}
+		}
+		// Interference feasibility: adjacent FBSs never share a channel.
+		holders := make(map[int][]int)
+		for i, chans := range res.Assigned {
+			for _, ch := range chans {
+				holders[ch] = append(holders[ch], i)
+			}
+		}
+		for ch, fbss := range holders {
+			if !graph.IsIndependent(fbss) {
+				t.Fatalf("channel %d assigned to adjacent FBSs %v", ch, fbss)
+			}
 		}
 	})
 }

@@ -180,7 +180,7 @@ func (g *Graph) Components() [][]int {
 			u := stack[len(stack)-1]
 			stack = stack[:len(stack)-1]
 			comp = append(comp, u)
-			for v := range g.adj[u] {
+			for _, v := range g.Neighbors(u) {
 				if !seen[v] {
 					seen[v] = true
 					stack = append(stack, v)

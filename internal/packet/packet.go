@@ -96,7 +96,9 @@ func (q *Queue) Push(p *Packet) error {
 
 // less reports whether a should come after b (i.e. b outranks a).
 func less(a, b *Packet) bool {
-	if a.Unit.Significance != b.Unit.Significance {
+	// Exact comparison is required here: a tolerance would make the strict
+	// weak ordering intransitive and corrupt the priority queue.
+	if a.Unit.Significance != b.Unit.Significance { //femtovet:ignore floateq
 		return a.Unit.Significance < b.Unit.Significance
 	}
 	if a.GOP != b.GOP {

@@ -1,0 +1,44 @@
+// Package safeio provides a sticky-error writer for command-line and report
+// output.
+//
+// The cmd tools emit dozens of fmt.Fprintf calls per report; checking every
+// individual error buries the code in noise while checking none silently
+// truncates results files. Writer records the first underlying write error
+// and suppresses all subsequent writes, so callers funnel output through it
+// and check Err exactly once at the end. The errdrop analyzer in
+// internal/analysis recognizes this type and exempts fmt.Fprint* calls
+// whose destination is a *safeio.Writer.
+package safeio
+
+import "io"
+
+// Writer wraps an io.Writer, remembering the first write error.
+type Writer struct {
+	w   io.Writer
+	err error
+}
+
+// NewWriter wraps w. If w is already a *Writer it is returned unchanged, so
+// helpers can re-wrap defensively without losing the shared error state.
+func NewWriter(w io.Writer) *Writer {
+	if sw, ok := w.(*Writer); ok {
+		return sw
+	}
+	return &Writer{w: w}
+}
+
+// Write forwards to the underlying writer unless an earlier write failed,
+// in which case it returns the recorded error without writing.
+func (w *Writer) Write(p []byte) (int, error) {
+	if w.err != nil {
+		return 0, w.err
+	}
+	n, err := w.w.Write(p)
+	if err != nil {
+		w.err = err
+	}
+	return n, err
+}
+
+// Err returns the first error recorded by Write, or nil.
+func (w *Writer) Err() error { return w.err }

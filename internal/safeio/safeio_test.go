@@ -1,0 +1,55 @@
+package safeio
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+type failAfter struct {
+	n   int
+	err error
+}
+
+func (f *failAfter) Write(p []byte) (int, error) {
+	if f.n <= 0 {
+		return 0, f.err
+	}
+	f.n--
+	return len(p), nil
+}
+
+func TestWriterPassthrough(t *testing.T) {
+	var b strings.Builder
+	w := NewWriter(&b)
+	fmt.Fprintf(w, "hello %d", 7)
+	if w.Err() != nil {
+		t.Fatalf("unexpected error: %v", w.Err())
+	}
+	if b.String() != "hello 7" {
+		t.Fatalf("wrote %q", b.String())
+	}
+}
+
+func TestWriterSticky(t *testing.T) {
+	boom := errors.New("disk full")
+	w := NewWriter(&failAfter{n: 1, err: boom})
+	fmt.Fprintln(w, "first")
+	fmt.Fprintln(w, "second")
+	fmt.Fprintln(w, "third")
+	if !errors.Is(w.Err(), boom) {
+		t.Fatalf("Err = %v, want %v", w.Err(), boom)
+	}
+	if n, err := w.Write([]byte("x")); n != 0 || !errors.Is(err, boom) {
+		t.Fatalf("write after failure: n=%d err=%v", n, err)
+	}
+}
+
+func TestNewWriterIdempotent(t *testing.T) {
+	var b strings.Builder
+	w := NewWriter(&b)
+	if NewWriter(w) != w {
+		t.Fatal("re-wrapping created a new Writer; error state would fork")
+	}
+}

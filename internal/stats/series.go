@@ -96,7 +96,9 @@ func (f *Figure) Render() string {
 		for _, c := range f.Curves {
 			cell := "-"
 			for i, cx := range c.X {
-				if cx == x {
+				// Grid-key lookup: x comes verbatim from the curves' X
+				// slices, so exact match is the intended semantics.
+				if cx == x { //femtovet:ignore floateq
 					p := c.Points[i]
 					if p.HalfWidth > 0 {
 						cell = fmt.Sprintf("%.2f ±%.2f", p.Mean, p.HalfWidth)
@@ -150,7 +152,8 @@ func (f *Figure) CSV() string {
 		for _, c := range f.Curves {
 			found := false
 			for i, cx := range c.X {
-				if cx == x {
+				// Grid-key lookup, exact by design (see FormatTable).
+				if cx == x { //femtovet:ignore floateq
 					p := c.Points[i]
 					fmt.Fprintf(&b, ",%g,%g,%g", p.Mean, p.Lo(), p.Hi())
 					found = true

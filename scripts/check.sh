@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# Tier-1 verification gate for femtocr. CI runs this on every push/PR; run
+# it locally before merging. Steps:
+#
+#   1. gofmt        — formatting drift fails the gate
+#   2. go vet       — the compiler-adjacent standard checks
+#   3. go build     — the whole module must compile
+#   4. femtovet     — the domain-aware analyzer suite (determinism,
+#                     probability ranges, float comparisons, dropped errors)
+#   5. go test -race — all tests under the race detector
+#
+# Opt-in extras:
+#   FEMTOCR_FUZZ=1  — also run short fuzz smoke passes (-fuzztime=10s) over
+#                     the core solver fuzz targets.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> gofmt"
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt: the following files need formatting:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+echo "==> go vet"
+go vet ./...
+
+echo "==> go build"
+go build ./...
+
+echo "==> femtovet"
+go run ./cmd/femtovet ./...
+
+echo "==> go test -race"
+go test -race ./...
+
+if [ -n "${FEMTOCR_FUZZ:-}" ]; then
+    echo "==> fuzz smoke (FEMTOCR_FUZZ set)"
+    go test -run='^$' -fuzz='^FuzzWaterfill$' -fuzztime=10s ./internal/core
+    go test -run='^$' -fuzz='^FuzzGreedyChannels$' -fuzztime=10s ./internal/core
+fi
+
+echo "check.sh: all gates passed"
