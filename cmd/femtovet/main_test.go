@@ -1,6 +1,9 @@
 package main
 
 import (
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -23,9 +26,88 @@ func TestListAnalyzers(t *testing.T) {
 	if code := run(&out, &errb, []string{"-list"}); code != 0 {
 		t.Fatalf("exit %d: %s", code, errb.String())
 	}
-	for _, name := range []string{"randsource", "mapiter", "floateq", "probrange", "errdrop"} {
+	for _, name := range []string{
+		"randsource", "mapiter", "floateq", "probrange", "errdrop",
+		"unitcheck", "seedflow", "idxdomain", "directives",
+	} {
 		if !strings.Contains(out.String(), name) {
 			t.Errorf("-list output missing %s:\n%s", name, out.String())
+		}
+	}
+}
+
+// TestJSONCleanTree: -json on the clean module emits an empty array and
+// exits 0.
+func TestJSONCleanTree(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run(&out, &errb, []string{"-json", "../..."}); code != 0 {
+		t.Fatalf("exit %d\nstderr:\n%s", code, errb.String())
+	}
+	var findings []jsonFinding
+	if err := json.Unmarshal([]byte(out.String()), &findings); err != nil {
+		t.Fatalf("-json output is not JSON: %v\n%s", err, out.String())
+	}
+	if len(findings) != 0 {
+		t.Fatalf("expected no findings, got %v", findings)
+	}
+}
+
+// TestSARIFCleanTree: -sarif emits a well-formed log with the full rule
+// table and empty results.
+func TestSARIFCleanTree(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run(&out, &errb, []string{"-sarif", "../..."}); code != 0 {
+		t.Fatalf("exit %d\nstderr:\n%s", code, errb.String())
+	}
+	for _, must := range []string{`"version": "2.1.0"`, `"results": []`, `"id": "seedflow"`} {
+		if !strings.Contains(out.String(), must) {
+			t.Errorf("-sarif output missing %s", must)
+		}
+	}
+}
+
+// TestBaselineAgainstCheckedIn: the repository's own baseline must load and
+// leave the tree clean — and it must be EMPTY, the suite's calibration
+// contract.
+func TestBaselineAgainstCheckedIn(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run(&out, &errb, []string{"-baseline", "../../femtovet.baseline.json", "../..."}); code != 0 {
+		t.Fatalf("exit %d\nstdout:\n%s\nstderr:\n%s", code, out.String(), errb.String())
+	}
+	data, err := os.ReadFile("../../femtovet.baseline.json")
+	if err != nil {
+		t.Fatalf("read baseline: %v", err)
+	}
+	if strings.Contains(string(data), `"analyzer"`) {
+		t.Fatalf("checked-in baseline is not empty:\n%s", data)
+	}
+}
+
+// TestWriteBaseline writes a baseline for the clean tree and verifies it
+// round-trips through -baseline.
+func TestWriteBaseline(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "baseline.json")
+	var out, errb strings.Builder
+	if code := run(&out, &errb, []string{"-baseline", path, "-write-baseline", "../..."}); code != 0 {
+		t.Fatalf("-write-baseline exit %d\nstderr:\n%s", code, errb.String())
+	}
+	out.Reset()
+	errb.Reset()
+	if code := run(&out, &errb, []string{"-baseline", path, "../..."}); code != 0 {
+		t.Fatalf("reusing written baseline: exit %d\nstderr:\n%s", code, errb.String())
+	}
+}
+
+func TestFlagValidation(t *testing.T) {
+	cases := [][]string{
+		{"-json", "-sarif", "../..."},
+		{"-write-baseline", "../..."},
+		{"-baseline", "no/such/file.json", "../..."},
+	}
+	for _, args := range cases {
+		var out, errb strings.Builder
+		if code := run(&out, &errb, args); code != 2 {
+			t.Errorf("run(%v) = %d, want 2\nstderr:\n%s", args, code, errb.String())
 		}
 	}
 }

@@ -21,13 +21,31 @@ import (
 	"go/types"
 	"sort"
 	"strings"
+
+	"femtocr/internal/analysis/flow"
 )
+
+// TextEdit is one byte-range replacement of a suggested fix. Pos == End
+// inserts NewText without removing anything.
+type TextEdit struct {
+	Pos     token.Pos
+	End     token.Pos
+	NewText string
+}
+
+// Fix is a mechanical rewrite that resolves a finding, applied by
+// `femtovet -fix` through go/format.
+type Fix struct {
+	Message string
+	Edits   []TextEdit
+}
 
 // Diagnostic is one finding reported by an analyzer.
 type Diagnostic struct {
 	Pos      token.Position // resolved file:line:column
 	Analyzer string         // name of the reporting analyzer
 	Message  string
+	Fix      *Fix // optional mechanical rewrite, nil when none applies
 }
 
 // String formats the diagnostic in the conventional file:line:col form.
@@ -52,6 +70,7 @@ type Pass struct {
 	Files    []*ast.File
 	Pkg      *types.Package
 	Info     *types.Info
+	Index    *flow.Index // module-wide function index for interprocedural analyzers
 
 	diags   []Diagnostic
 	ignores map[string]map[int]bool // filename -> suppressed line -> present
@@ -69,6 +88,15 @@ func (p *Pass) Rel() string {
 // Reportf records a finding at pos unless a //femtovet:ignore directive
 // suppresses it.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(pos, nil, format, args...)
+}
+
+// ReportFixf records a finding carrying a suggested mechanical fix.
+func (p *Pass) ReportFixf(pos token.Pos, fix *Fix, format string, args ...any) {
+	p.report(pos, fix, format, args...)
+}
+
+func (p *Pass) report(pos token.Pos, fix *Fix, format string, args ...any) {
 	position := p.Fset.Position(pos)
 	if lines, ok := p.ignores[position.Filename]; ok && lines[position.Line] {
 		return
@@ -77,24 +105,28 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 		Pos:      position,
 		Analyzer: p.Analyzer.Name,
 		Message:  fmt.Sprintf(format, args...),
+		Fix:      fix,
 	})
 }
 
 // collectIgnores scans file comments for femtovet:ignore directives. A
-// directive suppresses diagnostics on its own line (trailing comment) and on
-// the following line (standalone comment).
+// well-formed directive
+//
+//	//femtovet:ignore <analyzer>[,<analyzer>...] -- <reason>
+//
+// suppresses the named analyzers on its own line (trailing comment) and on
+// the following line (standalone comment). Bare or reasonless directives
+// suppress nothing; the directives meta-check flags them.
 func (p *Pass) collectIgnores() {
 	p.ignores = make(map[string]map[int]bool)
 	for _, f := range p.Files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
-				text := strings.TrimPrefix(c.Text, "//")
-				text = strings.TrimSpace(text)
-				if !strings.HasPrefix(text, "femtovet:ignore") {
+				dir, ok := parseDirective(c.Text)
+				if !ok || dir.Kind != "ignore" {
 					continue
 				}
-				rest := strings.TrimSpace(strings.TrimPrefix(text, "femtovet:ignore"))
-				if rest != "" && !directiveCovers(rest, p.Analyzer.Name) {
+				if len(dir.Names) == 0 || dir.Reason == "" || !directiveCovers(dir.Names, p.Analyzer.Name) {
 					continue
 				}
 				pos := p.Fset.Position(c.Pos())
@@ -108,11 +140,46 @@ func (p *Pass) collectIgnores() {
 	}
 }
 
-// directiveCovers reports whether a comma-separated analyzer list names the
-// given analyzer.
-func directiveCovers(list, name string) bool {
-	for _, part := range strings.Split(list, ",") {
-		if strings.TrimSpace(part) == name {
+// directive is one parsed //femtovet:<kind> comment.
+type directive struct {
+	Kind   string   // "ignore", "unit", "index", "fixturepath"
+	Arg    string   // raw argument text after the kind (reason stripped for ignore)
+	Names  []string // ignore: the comma-separated analyzer list
+	Reason string   // ignore: the text after " -- "
+}
+
+// parseDirective recognizes femtovet directive comments. It returns ok
+// false for ordinary comments. Every directive accepts an optional
+// ` -- <text>` tail: for ignore it is the mandatory reason, for the other
+// kinds a free-form comment.
+func parseDirective(comment string) (directive, bool) {
+	text := strings.TrimSpace(strings.TrimPrefix(comment, "//"))
+	rest, ok := strings.CutPrefix(text, "femtovet:")
+	if !ok {
+		return directive{}, false
+	}
+	kind, arg, _ := strings.Cut(rest, " ")
+	d := directive{Kind: kind}
+	head, tail, hasTail := strings.Cut(arg, "--")
+	if hasTail {
+		d.Reason = strings.TrimSpace(tail)
+	}
+	d.Arg = strings.TrimSpace(head)
+	if kind == "ignore" {
+		for _, part := range strings.Split(d.Arg, ",") {
+			if name := strings.TrimSpace(part); name != "" {
+				d.Names = append(d.Names, name)
+			}
+		}
+	}
+	return d, true
+}
+
+// directiveCovers reports whether the analyzer list names the given
+// analyzer.
+func directiveCovers(names []string, name string) bool {
+	for _, n := range names {
+		if n == name {
 			return true
 		}
 	}
@@ -121,7 +188,10 @@ func directiveCovers(list, name string) bool {
 
 // All returns the full analyzer suite in reporting order.
 func All() []*Analyzer {
-	return []*Analyzer{RandSource, MapIter, FloatEq, ProbRange, ErrDrop}
+	return []*Analyzer{
+		RandSource, MapIter, FloatEq, ProbRange, ErrDrop,
+		UnitCheck, SeedFlow, IdxDomain, Directives,
+	}
 }
 
 // ByName returns the named analyzer, or nil.
@@ -134,9 +204,23 @@ func ByName(name string) *Analyzer {
 	return nil
 }
 
+// Index builds the module-wide flow index the interprocedural analyzers
+// consult. The result is memoized on the module.
+func (m *Module) Index() *flow.Index {
+	if m.flowIndex == nil {
+		ix := flow.NewIndex()
+		for _, pkg := range m.Packages {
+			ix.Add(pkg.Path, pkg.Files, pkg.Info)
+		}
+		m.flowIndex = ix
+	}
+	return m.flowIndex
+}
+
 // RunAnalyzers applies each analyzer to each package and returns all
 // findings sorted by file, line, column, and analyzer name.
 func RunAnalyzers(m *Module, analyzers []*Analyzer) []Diagnostic {
+	ix := m.Index()
 	var diags []Diagnostic
 	for _, pkg := range m.Packages {
 		for _, a := range analyzers {
@@ -148,6 +232,7 @@ func RunAnalyzers(m *Module, analyzers []*Analyzer) []Diagnostic {
 				Files:    pkg.Files,
 				Pkg:      pkg.Pkg,
 				Info:     pkg.Info,
+				Index:    ix,
 			}
 			pass.collectIgnores()
 			a.Run(pass)

@@ -1,0 +1,107 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// Baseline is the checked-in inventory of known findings. CI compares the
+// current run against it and fails only on findings not already recorded, so
+// a newly tightened analyzer can land before every legacy finding is fixed.
+// Entries are keyed by analyzer, module-relative file, and message — not by
+// line — so unrelated edits that shift a finding up or down a file do not
+// break the build.
+type Baseline struct {
+	Version  int             `json:"version"`
+	Findings []BaselineEntry `json:"findings"`
+}
+
+// BaselineEntry records that Count findings with this analyzer, file, and
+// message are known and tolerated.
+type BaselineEntry struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Message  string `json:"message"`
+	Count    int    `json:"count"`
+}
+
+// baselineVersion is the current schema version.
+const baselineVersion = 1
+
+type baselineKey struct {
+	analyzer, file, message string
+}
+
+// BaselineOf builds the baseline covering diags. rel maps an absolute
+// filename to its module-relative form.
+func BaselineOf(diags []Diagnostic, rel func(string) string) *Baseline {
+	counts := make(map[baselineKey]int)
+	for _, d := range diags {
+		k := baselineKey{d.Analyzer, rel(d.Pos.Filename), d.Message}
+		counts[k]++
+	}
+	b := &Baseline{Version: baselineVersion, Findings: []BaselineEntry{}}
+	for k, n := range counts {
+		b.Findings = append(b.Findings, BaselineEntry{
+			Analyzer: k.analyzer, File: k.file, Message: k.message, Count: n,
+		})
+	}
+	sort.Slice(b.Findings, func(i, j int) bool {
+		a, c := b.Findings[i], b.Findings[j]
+		if a.File != c.File {
+			return a.File < c.File
+		}
+		if a.Analyzer != c.Analyzer {
+			return a.Analyzer < c.Analyzer
+		}
+		return a.Message < c.Message
+	})
+	return b
+}
+
+// ReadBaselineFile loads and validates a baseline file.
+func ReadBaselineFile(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: baseline: %w", err)
+	}
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("analysis: baseline %s: %w", path, err)
+	}
+	if b.Version != baselineVersion {
+		return nil, fmt.Errorf("analysis: baseline %s: unsupported version %d (want %d)", path, b.Version, baselineVersion)
+	}
+	return &b, nil
+}
+
+// Encode renders the baseline as indented JSON with a trailing newline, the
+// form kept in version control.
+func (b *Baseline) Encode() ([]byte, error) {
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(data, '\n'), nil
+}
+
+// Filter returns the findings not covered by the baseline, preserving order.
+// Each entry absorbs up to Count matching findings; the surplus is new.
+func (b *Baseline) Filter(diags []Diagnostic, rel func(string) string) []Diagnostic {
+	budget := make(map[baselineKey]int)
+	for _, e := range b.Findings {
+		budget[baselineKey{e.Analyzer, e.File, e.Message}] += e.Count
+	}
+	var kept []Diagnostic
+	for _, d := range diags {
+		k := baselineKey{d.Analyzer, rel(d.Pos.Filename), d.Message}
+		if budget[k] > 0 {
+			budget[k]--
+			continue
+		}
+		kept = append(kept, d)
+	}
+	return kept
+}

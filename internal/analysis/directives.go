@@ -1,0 +1,96 @@
+package analysis
+
+import (
+	"go/ast"
+	"regexp"
+	"strings"
+)
+
+// Directives is the meta-check over femtovet's own comment directives. An
+// ignore without an analyzer name silences the whole suite, and one
+// without a reason is unauditable — both defeat the point of a baseline
+// that is supposed to stay empty. Malformed unit or index annotations
+// silently annotate nothing, which is worse than failing loudly here.
+var Directives = &Analyzer{
+	Name: "directives",
+	Doc:  "malformed femtovet directives: bare or reasonless ignores, unknown analyzers, units, or domains",
+	Run:  runDirectives,
+}
+
+// domainRx constrains index-domain tokens to simple lowercase words.
+var domainRx = regexp.MustCompile(`^[a-z][a-z0-9]*$`)
+
+// knownAnalyzers lists the suite's analyzer names. Kept as a literal (not
+// derived from All) to avoid an initialization cycle: All references
+// Directives, which runs this check.
+var knownAnalyzers = map[string]bool{
+	"randsource": true,
+	"mapiter":    true,
+	"floateq":    true,
+	"probrange":  true,
+	"errdrop":    true,
+	"unitcheck":  true,
+	"seedflow":   true,
+	"idxdomain":  true,
+	"directives": true,
+}
+
+// directiveKinds are the recognized //femtovet:<kind> directives.
+var directiveKinds = map[string]bool{
+	"ignore":      true,
+	"unit":        true,
+	"index":       true,
+	"fixturepath": true, // fixture-harness only, but legal anywhere
+}
+
+func runDirectives(pass *Pass) {
+	for _, file := range pass.Files {
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				d, ok := parseDirective(c.Text)
+				if !ok {
+					continue
+				}
+				checkDirective(pass, c, d)
+			}
+		}
+	}
+}
+
+func checkDirective(pass *Pass, c *ast.Comment, d directive) {
+	switch d.Kind {
+	case "ignore":
+		if len(d.Names) == 0 {
+			pass.Reportf(c.Pos(), "bare femtovet:ignore suppresses nothing; name the analyzer(s): //femtovet:ignore <analyzer> -- <reason>")
+			return
+		}
+		for _, name := range d.Names {
+			if !knownAnalyzers[name] {
+				pass.Reportf(c.Pos(), "femtovet:ignore names unknown analyzer %q", name)
+			}
+		}
+		if d.Reason == "" {
+			pass.Reportf(c.Pos(), "femtovet:ignore without a reason suppresses nothing; append ` -- <reason>`")
+		}
+	case "unit":
+		if _, known := knownUnits[d.Arg]; !known {
+			pass.Reportf(c.Pos(), "femtovet:unit %q is not a registered unit family (known: dB, linear, bps, prob, share, slots)", d.Arg)
+		}
+	case "index":
+		if d.Arg == "" {
+			pass.Reportf(c.Pos(), "femtovet:index needs a comma-separated list of axis domains, e.g. //femtovet:index user,channel")
+			return
+		}
+		for _, part := range strings.Split(d.Arg, ",") {
+			if tok := strings.TrimSpace(part); !domainRx.MatchString(tok) {
+				pass.Reportf(c.Pos(), "femtovet:index domain %q must be a lowercase word", tok)
+			}
+		}
+	case "fixturepath":
+		if d.Arg == "" {
+			pass.Reportf(c.Pos(), "femtovet:fixturepath needs an import path argument")
+		}
+	default:
+		pass.Reportf(c.Pos(), "unknown femtovet directive %q (known: ignore, unit, index, fixturepath)", d.Kind)
+	}
+}

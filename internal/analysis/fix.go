@@ -1,0 +1,98 @@
+package analysis
+
+import (
+	"fmt"
+	"go/format"
+	"go/token"
+	"os"
+	"sort"
+)
+
+// FixResult describes one -fix run: the rewritten files and how many
+// suggested fixes were applied or skipped (because their edits overlapped an
+// already-applied rewrite).
+type FixResult struct {
+	Files   map[string][]byte // filename -> gofmt-formatted rewritten content
+	Applied int
+	Skipped int
+}
+
+// ApplyFixes applies the suggested fixes carried by diags to the source
+// files they touch, working on byte offsets resolved through fset and
+// re-formatting each rewritten file with go/format. Files are read from
+// disk, not written: the caller decides where the output goes. Fixes whose
+// edits would overlap an edit already accepted on the same file are skipped
+// whole, so the result always formats.
+func ApplyFixes(fset *token.FileSet, diags []Diagnostic) (*FixResult, error) {
+	type edit struct {
+		start, end int
+		text       string
+	}
+	perFile := make(map[string][]edit)
+	res := &FixResult{Files: make(map[string][]byte)}
+	for _, d := range diags {
+		if d.Fix == nil || len(d.Fix.Edits) == 0 {
+			continue
+		}
+		var edits []edit
+		file := ""
+		valid := true
+		for _, te := range d.Fix.Edits {
+			pos, end := fset.Position(te.Pos), fset.Position(te.End)
+			if pos.Filename == "" || (file != "" && pos.Filename != file) || end.Offset < pos.Offset {
+				valid = false
+				break
+			}
+			file = pos.Filename
+			edits = append(edits, edit{start: pos.Offset, end: end.Offset, text: te.NewText})
+		}
+		if !valid {
+			res.Skipped++
+			continue
+		}
+		overlaps := false
+		for _, e := range edits {
+			for _, prev := range perFile[file] {
+				if e.start < prev.end && prev.start < e.end {
+					overlaps = true
+					break
+				}
+				// Two pure insertions at the same offset are order-ambiguous.
+				if e.start == e.end && prev.start == prev.end && e.start == prev.start {
+					overlaps = true
+					break
+				}
+			}
+			if overlaps {
+				break
+			}
+		}
+		if overlaps {
+			res.Skipped++
+			continue
+		}
+		perFile[file] = append(perFile[file], edits...)
+		res.Applied++
+	}
+
+	for file, edits := range perFile {
+		src, err := os.ReadFile(file)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: fix: %w", err)
+		}
+		// Apply back to front so earlier offsets stay valid.
+		sort.Slice(edits, func(i, j int) bool { return edits[i].start > edits[j].start })
+		for _, e := range edits {
+			if e.end > len(src) {
+				return nil, fmt.Errorf("analysis: fix: edit past end of %s", file)
+			}
+			src = append(src[:e.start], append([]byte(e.text), src[e.end:]...)...)
+		}
+		formatted, err := format.Source(src)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: fix: %s does not format after rewrite: %w", file, err)
+		}
+		res.Files[file] = formatted
+	}
+	return res, nil
+}

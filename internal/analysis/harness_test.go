@@ -7,6 +7,8 @@ import (
 	"strings"
 	"sync"
 	"testing"
+
+	"femtocr/internal/analysis/flow"
 )
 
 // The fixture harness: each testdata file is parsed and type-checked as a
@@ -64,6 +66,15 @@ func runFixture(t *testing.T, a *Analyzer, filename string) {
 		t.Fatalf("typecheck %s: %v", filename, err)
 	}
 
+	// The fixture sees a flow index holding the whole module plus itself,
+	// so module-wide unit/index annotations and interprocedural freshness
+	// resolve exactly as they do in a real run.
+	ix := flow.NewIndex()
+	for _, p := range m.Packages {
+		ix.Add(p.Path, p.Files, p.Info)
+	}
+	ix.Add(path, pkg.Files, pkg.Info)
+
 	pass := &Pass{
 		Analyzer: a,
 		Module:   m.Path,
@@ -72,6 +83,7 @@ func runFixture(t *testing.T, a *Analyzer, filename string) {
 		Files:    pkg.Files,
 		Pkg:      pkg.Pkg,
 		Info:     pkg.Info,
+		Index:    ix,
 	}
 	pass.collectIgnores()
 	a.Run(pass)
@@ -131,10 +143,60 @@ func TestErrDropFixtures(t *testing.T) {
 	runFixture(t, ErrDrop, "testdata/errdrop_clean.go")
 }
 
-// TestIgnoreDirective: a femtovet:ignore comment suppresses the named
-// analyzer on its line and the next.
+func TestUnitCheckFixtures(t *testing.T) {
+	runFixture(t, UnitCheck, "testdata/unitcheck_flag.go")
+	runFixture(t, UnitCheck, "testdata/unitcheck_clean.go")
+}
+
+func TestSeedFlowFixtures(t *testing.T) {
+	runFixture(t, SeedFlow, "testdata/seedflow_flag.go")
+	runFixture(t, SeedFlow, "testdata/seedflow_clean.go")
+}
+
+func TestIdxDomainFixtures(t *testing.T) {
+	runFixture(t, IdxDomain, "testdata/idxdomain_flag.go")
+	runFixture(t, IdxDomain, "testdata/idxdomain_clean.go")
+}
+
+func TestDirectivesFixtures(t *testing.T) {
+	runFixture(t, Directives, "testdata/directives_flag.go")
+}
+
+// TestIgnoreDirective: a well-formed femtovet:ignore comment suppresses the
+// named analyzer on its line and the next; a reasonless or wrongly named
+// one does not.
 func TestIgnoreDirective(t *testing.T) {
 	runFixture(t, FloatEq, "testdata/ignore_directive.go")
+}
+
+// TestReasonlessIgnoreFlagged covers the one directives finding a fixture
+// cannot express: `//femtovet:ignore floateq` with no reason at all (a want
+// comment on the directive line would become part of the analyzer list).
+func TestReasonlessIgnoreFlagged(t *testing.T) {
+	m := loadTestModule(t)
+	src := "package fixture\n\nfunc eq(a, b float64) bool {\n\treturn a == b //femtovet:ignore floateq\n}\n"
+	file, err := parser.ParseFile(m.Fset, "reasonless.go", src, parser.ParseComments|parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	pkg, err := m.CheckFile("femtocr/internal/reasonless", file)
+	if err != nil {
+		t.Fatalf("typecheck: %v", err)
+	}
+	pass := &Pass{
+		Analyzer: Directives,
+		Module:   m.Path,
+		Path:     "femtocr/internal/reasonless",
+		Fset:     m.Fset,
+		Files:    pkg.Files,
+		Pkg:      pkg.Pkg,
+		Info:     pkg.Info,
+	}
+	pass.collectIgnores()
+	Directives.Run(pass)
+	if len(pass.diags) != 1 || !strings.Contains(pass.diags[0].Message, "without a reason") {
+		t.Fatalf("want exactly one reasonless-ignore finding, got %v", pass.diags)
+	}
 }
 
 // TestSuiteCleanOnModule is the merge gate in miniature: the analyzer suite
@@ -145,6 +207,44 @@ func TestSuiteCleanOnModule(t *testing.T) {
 	for _, d := range diags {
 		t.Errorf("unexpected finding: %s", d.String())
 	}
+}
+
+// suiteOnSource type-checks src as a standalone package at the given import
+// path (resolving module imports) and runs the given analyzers over it with
+// a full module flow index, returning the findings.
+func suiteOnSource(t *testing.T, path, filename, src string, analyzers []*Analyzer) []Diagnostic {
+	t.Helper()
+	m := loadTestModule(t)
+	file, err := parser.ParseFile(m.Fset, filename, src, parser.ParseComments|parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatalf("parse %s: %v", filename, err)
+	}
+	pkg, err := m.CheckFile(path, file)
+	if err != nil {
+		t.Fatalf("typecheck %s: %v", filename, err)
+	}
+	ix := flow.NewIndex()
+	for _, p := range m.Packages {
+		ix.Add(p.Path, p.Files, p.Info)
+	}
+	ix.Add(path, pkg.Files, pkg.Info)
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer: a,
+			Module:   m.Path,
+			Path:     path,
+			Fset:     m.Fset,
+			Files:    pkg.Files,
+			Pkg:      pkg.Pkg,
+			Info:     pkg.Info,
+			Index:    ix,
+		}
+		pass.collectIgnores()
+		a.Run(pass)
+		diags = append(diags, pass.diags...)
+	}
+	return diags
 }
 
 func readFixture(filename string) (string, error) {

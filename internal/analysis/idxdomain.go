@@ -1,0 +1,426 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"femtocr/internal/analysis/flow"
+)
+
+// IdxDomain tracks index domains — which axis (user, channel, slot, fbs) a
+// loop variable ranges over — and flags indexing a container of one domain
+// with a variable of another. The paper's algorithms loop over N users and
+// M licensed channels in adjacent lines (eqs. 10-12, Tables I-III); the
+// compiler accepts `users[m]` as happily as `users[j]`, and the result is
+// an in-range read of the wrong user's state.
+//
+// Domains come from //femtovet:index annotations on containers (their
+// successive index axes, comma-separated) and on integer counts or count
+// methods, plus naming conventions (NumUsers, nChannels, len(users), ...).
+// A loop variable inherits the domain of its bound; make(T, n) gives the
+// new container the domain of n.
+var IdxDomain = &Analyzer{
+	Name: "idxdomain",
+	Doc:  "indexing a container of one index domain (user/channel/slot/...) with a loop variable of another",
+	Run:  runIdxDomain,
+}
+
+// countNames maps normalized identifier spellings to the domain they
+// count. Normalization lowercases and strips underscores, so NumUsers,
+// num_users, and nusers all match.
+var countNames = map[string]string{
+	"numusers":     "user",
+	"nusers":       "user",
+	"usercount":    "user",
+	"numchannels":  "channel",
+	"nchannels":    "channel",
+	"channelcount": "channel",
+	"numslots":     "slot",
+	"nslots":       "slot",
+	"slotcount":    "slot",
+	"numfbs":       "fbs",
+	"nfbs":         "fbs",
+	"fbscount":     "fbs",
+}
+
+// containerNames maps normalized container identifiers to their index
+// domain.
+var containerNames = map[string]string{
+	"users":    "user",
+	"channels": "channel",
+	"chans":    "channel",
+}
+
+func runIdxDomain(pass *Pass) {
+	reg := domainsFor(pass.Index)
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			ck := &idxChecker{
+				pass:  pass,
+				reg:   reg,
+				du:    flow.NewDefUse(fd, pass.Info),
+				loops: make(map[types.Object]string),
+			}
+			ck.run(fd)
+		}
+	}
+}
+
+type idxChecker struct {
+	pass  *Pass
+	reg   *domainRegistry
+	du    *flow.DefUse
+	loops map[types.Object]string // loop variable -> bound domain
+}
+
+func (ck *idxChecker) run(fd *ast.FuncDecl) {
+	// First pass: bind loop variables to the domain of their bounds.
+	ast.Inspect(fd, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.ForStmt:
+			ck.bindFor(x)
+		case *ast.RangeStmt:
+			ck.bindRange(x)
+		}
+		return true
+	})
+	if len(ck.loops) == 0 {
+		return
+	}
+	// Second pass: check every index expression.
+	ast.Inspect(fd, func(n ast.Node) bool {
+		ie, ok := n.(*ast.IndexExpr)
+		if !ok {
+			return true
+		}
+		want := ck.containerDomain(ie.X, 0)
+		got := ck.indexDomain(ie.Index)
+		if want == "" || got == "" || want == got {
+			return true
+		}
+		ck.pass.Reportf(ie.Index.Pos(), "index-domain mismatch: %s-indexed container %s indexed with %s-domain variable %s",
+			want, render(ie.X), got, render(ie.Index))
+		return true
+	})
+}
+
+// bindFor handles `for i := 0; i < bound; i++` (and <=) loops.
+func (ck *idxChecker) bindFor(fs *ast.ForStmt) {
+	init, ok := fs.Init.(*ast.AssignStmt)
+	if !ok || init.Tok != token.DEFINE || len(init.Lhs) != 1 {
+		return
+	}
+	id, ok := init.Lhs[0].(*ast.Ident)
+	if !ok {
+		return
+	}
+	cond, ok := fs.Cond.(*ast.BinaryExpr)
+	if !ok || (cond.Op != token.LSS && cond.Op != token.LEQ) {
+		return
+	}
+	condID, ok := ast.Unparen(cond.X).(*ast.Ident)
+	if !ok || ck.pass.Info.ObjectOf(condID) != ck.pass.Info.ObjectOf(id) {
+		return
+	}
+	if dom := ck.boundDomain(cond.Y); dom != "" {
+		ck.loops[ck.pass.Info.ObjectOf(id)] = dom
+	}
+}
+
+// bindRange gives the key of `for i := range X` the domain of X's first
+// index axis.
+func (ck *idxChecker) bindRange(rs *ast.RangeStmt) {
+	id, ok := rs.Key.(*ast.Ident)
+	if !ok || rs.Tok != token.DEFINE {
+		return
+	}
+	if dom := ck.containerDomain(rs.X, 0); dom != "" {
+		ck.loops[ck.pass.Info.ObjectOf(id)] = dom
+	}
+}
+
+// indexDomain resolves the domain of an index expression: a tracked loop
+// variable, possibly offset by a constant (i+1, i-1 preserve the axis).
+func (ck *idxChecker) indexDomain(e ast.Expr) string {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if obj := ck.pass.Info.ObjectOf(x); obj != nil {
+			return ck.loops[obj]
+		}
+	case *ast.BinaryExpr:
+		if x.Op != token.ADD && x.Op != token.SUB {
+			return ""
+		}
+		if isConstExpr(ck.pass.Info, x.Y) {
+			return ck.indexDomain(x.X)
+		}
+		if x.Op == token.ADD && isConstExpr(ck.pass.Info, x.X) {
+			return ck.indexDomain(x.Y)
+		}
+	}
+	return ""
+}
+
+// boundDomain resolves the domain counted by a loop bound: an annotated or
+// conventionally named count, len() of a known container, a call to an
+// annotated count method, or a local variable whose sole definition is one
+// of these.
+func (ck *idxChecker) boundDomain(e ast.Expr) string {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		obj := ck.pass.Info.ObjectOf(x)
+		if obj == nil {
+			return ""
+		}
+		if dom := ck.reg.countOf(obj); dom != "" {
+			return dom
+		}
+		if v, ok := obj.(*types.Var); ok {
+			if def := ck.du.SoleDef(v); def != nil {
+				return ck.boundDomain(def)
+			}
+		}
+	case *ast.SelectorExpr:
+		return ck.reg.countOf(ck.pass.Info.ObjectOf(x.Sel))
+	case *ast.CallExpr:
+		if id, ok := ast.Unparen(x.Fun).(*ast.Ident); ok && id.Name == "len" && len(x.Args) == 1 {
+			if _, isBuiltin := ck.pass.Info.Uses[id].(*types.Builtin); isBuiltin {
+				return ck.containerDomain(x.Args[0], 0)
+			}
+		}
+		if fn := flow.Callee(ck.pass.Info, x); fn != nil {
+			return ck.reg.countOf(fn)
+		}
+	}
+	return ""
+}
+
+// containerDomain resolves the domain of a container's index axis `dim`
+// (0 = outermost). Nested IndexExprs shift the axis: Rate[j] views the
+// channel axis of a user,channel container.
+func (ck *idxChecker) containerDomain(e ast.Expr, dim int) string {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		obj := ck.pass.Info.ObjectOf(x)
+		if obj == nil {
+			return ""
+		}
+		if dims := ck.reg.dimsOf(obj); len(dims) > dim {
+			return dims[dim]
+		}
+		if v, ok := obj.(*types.Var); ok {
+			if def := ck.du.SoleDef(v); def != nil {
+				return ck.defDomain(def, dim)
+			}
+		}
+	case *ast.SelectorExpr:
+		if dims := ck.reg.dimsOf(ck.pass.Info.ObjectOf(x.Sel)); len(dims) > dim {
+			return dims[dim]
+		}
+	case *ast.IndexExpr:
+		return ck.containerDomain(x.X, dim+1)
+	case *ast.CallExpr:
+		if fn := flow.Callee(ck.pass.Info, x); fn != nil {
+			if dims := ck.reg.dimsOf(fn); len(dims) > dim {
+				return dims[dim]
+			}
+		}
+	}
+	return ""
+}
+
+// defDomain resolves the domain a defining expression confers on dim:
+// make([]T, n) takes n's domain for axis 0; copying another container
+// inherits its axes.
+func (ck *idxChecker) defDomain(def ast.Expr, dim int) string {
+	switch x := ast.Unparen(def).(type) {
+	case *ast.CallExpr:
+		if id, ok := ast.Unparen(x.Fun).(*ast.Ident); ok && id.Name == "make" && len(x.Args) >= 2 {
+			if _, isBuiltin := ck.pass.Info.Uses[id].(*types.Builtin); isBuiltin && dim == 0 {
+				return ck.boundDomain(x.Args[1])
+			}
+			return ""
+		}
+		return ck.containerDomain(x, dim)
+	case *ast.Ident, *ast.SelectorExpr, *ast.IndexExpr:
+		return ck.containerDomain(def, dim)
+	}
+	return ""
+}
+
+// domainRegistry holds //femtovet:index annotations module-wide: container
+// objects map to their ordered index axes, integer counts (and count
+// methods) to the single domain they measure.
+type domainRegistry struct {
+	dims   map[types.Object][]string
+	counts map[types.Object]string
+}
+
+var domainRegistries = map[*flow.Index]*domainRegistry{}
+
+func domainsFor(ix *flow.Index) *domainRegistry {
+	if ix == nil {
+		return &domainRegistry{dims: map[types.Object][]string{}, counts: map[types.Object]string{}}
+	}
+	if r, ok := domainRegistries[ix]; ok {
+		return r
+	}
+	r := &domainRegistry{dims: map[types.Object][]string{}, counts: map[types.Object]string{}}
+	for _, p := range ix.Packages() {
+		for _, file := range p.Files {
+			r.collectFile(file, p.Info)
+		}
+	}
+	domainRegistries[ix] = r
+	return r
+}
+
+func (r *domainRegistry) collectFile(file *ast.File, info *types.Info) {
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.GenDecl:
+			if dims, ok := indexDirective(x.Doc); ok {
+				for _, spec := range x.Specs {
+					if vs, ok := spec.(*ast.ValueSpec); ok {
+						r.bindNames(info, vs.Names, dims)
+					}
+				}
+			}
+		case *ast.ValueSpec:
+			if dims, ok := indexDirective(x.Doc, x.Comment); ok {
+				r.bindNames(info, x.Names, dims)
+			}
+		case *ast.StructType:
+			for _, f := range x.Fields.List {
+				if dims, ok := indexDirective(f.Doc, f.Comment); ok {
+					r.bindNames(info, f.Names, dims)
+				}
+			}
+		case *ast.FuncDecl:
+			if dims, ok := indexDirective(x.Doc); ok {
+				if obj, isFn := info.Defs[x.Name].(*types.Func); isFn {
+					r.bind(obj, dims)
+				}
+			}
+		}
+		return true
+	})
+}
+
+func (r *domainRegistry) bindNames(info *types.Info, names []*ast.Ident, dims []string) {
+	for _, name := range names {
+		if obj := info.Defs[name]; obj != nil {
+			r.bind(obj, dims)
+		}
+	}
+}
+
+// bind routes an annotation by the object's type: containers get index
+// axes, integer-valued objects (and methods returning one) are counts.
+func (r *domainRegistry) bind(obj types.Object, dims []string) {
+	t := obj.Type()
+	if fn, ok := obj.(*types.Func); ok {
+		sig, ok := fn.Type().(*types.Signature)
+		if !ok || sig.Results() == nil || sig.Results().Len() != 1 {
+			return
+		}
+		t = sig.Results().At(0).Type()
+	}
+	switch t.Underlying().(type) {
+	case *types.Slice, *types.Array, *types.Map:
+		r.dims[obj] = dims
+	case *types.Basic:
+		if len(dims) == 1 {
+			r.counts[obj] = dims[0]
+		}
+	}
+}
+
+// countOf resolves the domain counted by an object: annotation first, then
+// the naming convention.
+func (r *domainRegistry) countOf(obj types.Object) string {
+	if obj == nil {
+		return ""
+	}
+	if dom, ok := r.counts[obj]; ok {
+		return dom
+	}
+	return countNames[normalizeName(obj.Name())]
+}
+
+// dimsOf resolves the index axes of a container object.
+func (r *domainRegistry) dimsOf(obj types.Object) []string {
+	if obj == nil {
+		return nil
+	}
+	if dims, ok := r.dims[obj]; ok {
+		return dims
+	}
+	if dom := containerNames[normalizeName(obj.Name())]; dom != "" {
+		return []string{dom}
+	}
+	return nil
+}
+
+// indexDirective extracts a //femtovet:index annotation: a comma-separated
+// list of axis domains.
+func indexDirective(groups ...*ast.CommentGroup) ([]string, bool) {
+	for _, cg := range groups {
+		if cg == nil {
+			continue
+		}
+		for _, c := range cg.List {
+			d, ok := parseDirective(c.Text)
+			if !ok || d.Kind != "index" || d.Arg == "" {
+				continue
+			}
+			var dims []string
+			for _, part := range strings.Split(d.Arg, ",") {
+				if p := strings.TrimSpace(part); p != "" {
+					dims = append(dims, p)
+				}
+			}
+			if len(dims) > 0 {
+				return dims, true
+			}
+		}
+	}
+	return nil, false
+}
+
+// normalizeName lowercases and strips underscores for convention lookups.
+func normalizeName(name string) string {
+	return strings.ReplaceAll(strings.ToLower(name), "_", "")
+}
+
+// isConstExpr reports whether e is a compile-time constant.
+func isConstExpr(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	return ok && tv.Value != nil
+}
+
+// render prints a compact source-ish form of simple expressions for
+// messages.
+func render(e ast.Expr) string {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		return render(x.X) + "." + x.Sel.Name
+	case *ast.IndexExpr:
+		return render(x.X) + "[" + render(x.Index) + "]"
+	case *ast.CallExpr:
+		return render(x.Fun) + "()"
+	case *ast.BinaryExpr:
+		return render(x.X) + x.Op.String() + render(x.Y)
+	case *ast.BasicLit:
+		return x.Value
+	}
+	return "expr"
+}

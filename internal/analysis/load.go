@@ -11,6 +11,8 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+
+	"femtocr/internal/analysis/flow"
 )
 
 // Package is one type-checked package of the module under analysis.
@@ -31,8 +33,9 @@ type Module struct {
 	Fset     *token.FileSet
 	Packages []*Package
 
-	byPath map[string]*Package
-	std    types.ImporterFrom
+	byPath    map[string]*Package
+	std       types.ImporterFrom
+	flowIndex *flow.Index // memoized module-wide function index
 }
 
 // LoadModule locates the module containing dir, parses every non-test Go
@@ -149,6 +152,18 @@ func LoadModule(dir string) (*Module, error) {
 		m.byPath[path] = lp
 	}
 	return m, nil
+}
+
+// RelFile returns filename relative to the module root with forward
+// slashes, the form used in baseline, JSON, and SARIF output so the files
+// stay machine-independent. Filenames outside the root pass through
+// unchanged.
+func (m *Module) RelFile(filename string) string {
+	rel, err := filepath.Rel(m.Root, filename)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return filepath.ToSlash(filename)
+	}
+	return filepath.ToSlash(rel)
 }
 
 // Import resolves an import path: module-local packages come from the loaded

@@ -1,0 +1,92 @@
+package analysis
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+// The mutation smoke tests: seed one representative bug of each class into
+// real (or realistic) code and prove the matching analyzer — and only it —
+// catches it with exactly one finding. This is the sensitivity half of the
+// calibration; the fixture _clean files and the empty baseline are the
+// specificity half.
+
+// mutate loads a real module source file, applies one textual replacement
+// (which must change it), and returns the mutated source.
+func mutate(t *testing.T, file, old, new string) string {
+	t.Helper()
+	data, err := os.ReadFile(file)
+	if err != nil {
+		t.Fatalf("read %s: %v", file, err)
+	}
+	src := string(data)
+	if !strings.Contains(src, old) {
+		t.Fatalf("%s no longer contains %q; update the mutation test", file, old)
+	}
+	return strings.Replace(src, old, new, 1)
+}
+
+// assertSingleFinding runs the full suite and requires exactly one finding,
+// from the expected analyzer, with the expected message fragment.
+func assertSingleFinding(t *testing.T, diags []Diagnostic, analyzer, fragment string) {
+	t.Helper()
+	if len(diags) != 1 {
+		t.Fatalf("want exactly 1 finding, got %d: %v", len(diags), diags)
+	}
+	if diags[0].Analyzer != analyzer {
+		t.Fatalf("finding came from %s, want %s: %s", diags[0].Analyzer, analyzer, diags[0].Message)
+	}
+	if !strings.Contains(diags[0].Message, fragment) {
+		t.Fatalf("finding %q does not mention %q", diags[0].Message, fragment)
+	}
+}
+
+// TestMutationDroppedFromDB: deleting the fading.FromDB conversion on the
+// EESM beta leaves a dB value flowing into a linear-annotated field;
+// unitcheck alone must catch it.
+func TestMutationDroppedFromDB(t *testing.T) {
+	src := mutate(t, "../ofdm/ofdm.go",
+		"beta:        fading.FromDB(betaDB),",
+		"beta:        betaDB,")
+	diags := suiteOnSource(t, "femtocr/internal/ofdmmut", "ofdmmut.go", src, All())
+	assertSingleFinding(t, diags, "unitcheck", "dB value assigned to linear field")
+}
+
+// TestMutationOrphanStream: replacing the seeded root with new(rng.Stream)
+// orphans the simulation's RNG; seedflow alone must catch it.
+func TestMutationOrphanStream(t *testing.T) {
+	src := mutate(t, "../packetsim/packetsim.go",
+		"root := rng.New(opts.Seed)",
+		"root := new(rng.Stream)")
+	diags := suiteOnSource(t, "femtocr/internal/packetsimmut", "packetsimmut.go", src, All())
+	assertSingleFinding(t, diags, "seedflow", "orphan rng.Stream")
+}
+
+// TestMutationSwappedBound: looping a user-indexed structure to N (the FBS
+// count) instead of K (the user count) reads the wrong axis; idxdomain
+// alone must catch it.
+func TestMutationSwappedBound(t *testing.T) {
+	clean := `package fixture
+
+import "femtocr/internal/core"
+
+func sumPSNR(in *core.Instance) float64 {
+	total := 0.0
+	for j := 0; j < in.K(); j++ {
+		total += in.W[j]
+	}
+	return total
+}
+`
+	if diags := suiteOnSource(t, "femtocr/internal/coremut0", "coremut0.go", clean, All()); len(diags) != 0 {
+		t.Fatalf("clean variant must be silent, got %v", diags)
+	}
+	mutated := strings.Replace(clean, "in.K()", "in.N()", 1)
+	diags := suiteOnSource(t, "femtocr/internal/coremut1", "coremut1.go", mutated, All())
+	assertSingleFinding(t, diags, "idxdomain", "index-domain mismatch")
+}
+
+// The unmutated originals stay silent — the suite is already proven clean
+// over the whole module by TestSuiteCleanOnModule — so each mutation above
+// flips exactly one bit of analyzer output.

@@ -1,0 +1,190 @@
+package analysis
+
+import (
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func sampleDiags() []Diagnostic {
+	return []Diagnostic{
+		{
+			Pos:      token.Position{Filename: "/mod/internal/core/instance.go", Line: 10, Column: 3},
+			Analyzer: "unitcheck",
+			Message:  "unit mismatch: assigning dB value to linear destination",
+		},
+		{
+			Pos:      token.Position{Filename: "/mod/internal/core/instance.go", Line: 10, Column: 3},
+			Analyzer: "unitcheck",
+			Message:  "unit mismatch: assigning dB value to linear destination",
+		},
+		{
+			Pos:      token.Position{Filename: "/mod/cmd/run/main.go", Line: 4, Column: 1},
+			Analyzer: "seedflow",
+			Message:  "orphan rng.Stream: zero-value construction is not derived from the seeded root; use rng.New or Split",
+		},
+	}
+}
+
+func sampleRel(filename string) string {
+	return strings.TrimPrefix(filename, "/mod/")
+}
+
+// TestSARIFGolden pins the exact SARIF rendering: rule metadata for the full
+// suite, one result per finding with module-relative URIs, stable order.
+func TestSARIFGolden(t *testing.T) {
+	got, err := SARIF(All(), sampleDiags(), sampleRel)
+	if err != nil {
+		t.Fatalf("SARIF: %v", err)
+	}
+	want, err := os.ReadFile("testdata/golden.sarif")
+	if err != nil {
+		t.Fatalf("read golden: %v", err)
+	}
+	if string(got) != string(want) {
+		t.Errorf("SARIF output drifted from testdata/golden.sarif:\n%s", got)
+	}
+}
+
+// TestSARIFEmptyResults: a clean run still renders a complete log with the
+// rule table and an empty results array.
+func TestSARIFEmptyResults(t *testing.T) {
+	got, err := SARIF(All(), nil, sampleRel)
+	if err != nil {
+		t.Fatalf("SARIF: %v", err)
+	}
+	for _, must := range []string{`"version": "2.1.0"`, `"results": []`, `"id": "unitcheck"`} {
+		if !strings.Contains(string(got), must) {
+			t.Errorf("empty SARIF missing %s:\n%s", must, got)
+		}
+	}
+}
+
+// TestBaselineRoundTrip: BaselineOf -> Encode -> ReadBaselineFile -> Filter
+// suppresses exactly the recorded findings, counts included.
+func TestBaselineRoundTrip(t *testing.T) {
+	diags := sampleDiags()
+	b := BaselineOf(diags, sampleRel)
+	data, err := b.Encode()
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	path := filepath.Join(t.TempDir(), "baseline.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	loaded, err := ReadBaselineFile(path)
+	if err != nil {
+		t.Fatalf("ReadBaselineFile: %v", err)
+	}
+
+	if kept := loaded.Filter(diags, sampleRel); len(kept) != 0 {
+		t.Errorf("baselined findings leaked through Filter: %v", kept)
+	}
+
+	// A brand-new finding passes through...
+	fresh := Diagnostic{
+		Pos:      token.Position{Filename: "/mod/internal/ofdm/ofdm.go", Line: 55, Column: 9},
+		Analyzer: "unitcheck",
+		Message:  "unit mismatch: dB value assigned to linear field",
+	}
+	if kept := loaded.Filter(append(diags, fresh), sampleRel); len(kept) != 1 || kept[0].Message != fresh.Message {
+		t.Errorf("Filter(with new finding) = %v, want exactly the new finding", kept)
+	}
+
+	// ...and so does a surplus duplicate beyond the recorded count.
+	surplus := append(diags, diags[0])
+	if kept := loaded.Filter(surplus, sampleRel); len(kept) != 1 {
+		t.Errorf("Filter(surplus duplicate) kept %d, want 1", len(kept))
+	}
+}
+
+func TestBaselineRejectsBadVersion(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "baseline.json")
+	if err := os.WriteFile(path, []byte(`{"version": 99, "findings": []}`), 0o644); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	if _, err := ReadBaselineFile(path); err == nil {
+		t.Fatal("ReadBaselineFile accepted an unsupported version")
+	}
+}
+
+// TestApplyFixUnitConversion: the unitcheck dB/linear fix rewrites the
+// offending expression into a fading.FromDB call and the file still
+// formats.
+func TestApplyFixUnitConversion(t *testing.T) {
+	src := `package fixture
+
+import "femtocr/internal/fading"
+
+var floorLin = fading.FromDB(3)
+
+var thresholdLin float64 //femtovet:unit linear
+
+func set(psnr float64) {
+	thresholdLin = psnr
+}
+`
+	fixed := applyFirstFix(t, UnitCheck, "femtocr/internal/fixapply", src)
+	if !strings.Contains(fixed, "thresholdLin = fading.FromDB(psnr)") {
+		t.Errorf("fix did not insert the conversion:\n%s", fixed)
+	}
+}
+
+// TestApplyFixMapIterSort: the mapiter fix inserts a deterministic sort
+// after the loop, and the rewritten source no longer triggers the analyzer.
+func TestApplyFixMapIterSort(t *testing.T) {
+	src := `package fixture
+
+import "sort"
+
+var _ = sort.Ints
+
+func keys(m map[int]string) []int {
+	var out []int
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+`
+	fixed := applyFirstFix(t, MapIter, "femtocr/internal/fixsort", src)
+	if !strings.Contains(fixed, "sort.Ints(out)") {
+		t.Errorf("fix did not insert the sort:\n%s", fixed)
+	}
+	if diags := suiteOnSource(t, "femtocr/internal/fixsort2", "fixsort2.go", fixed, []*Analyzer{MapIter}); len(diags) != 0 {
+		t.Errorf("mapiter still fires on the fixed source: %v", diags)
+	}
+}
+
+// applyFirstFix writes src to a temp file, runs one analyzer over it, and
+// applies the suggested fixes, returning the rewritten content.
+func applyFirstFix(t *testing.T, a *Analyzer, path, src string) string {
+	t.Helper()
+	m := loadTestModule(t)
+	filename := filepath.Join(t.TempDir(), "fix.go")
+	if err := os.WriteFile(filename, []byte(src), 0o644); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	diags := suiteOnSource(t, path, filename, src, []*Analyzer{a})
+	if len(diags) == 0 {
+		t.Fatal("analyzer reported nothing to fix")
+	}
+	if diags[0].Fix == nil {
+		t.Fatalf("finding carries no fix: %s", diags[0].Message)
+	}
+	res, err := ApplyFixes(m.Fset, diags)
+	if err != nil {
+		t.Fatalf("ApplyFixes: %v", err)
+	}
+	if res.Applied == 0 {
+		t.Fatal("no fixes applied")
+	}
+	content, ok := res.Files[filename]
+	if !ok {
+		t.Fatalf("no rewritten content for %s (have %v)", filename, res.Files)
+	}
+	return string(content)
+}

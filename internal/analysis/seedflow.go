@@ -1,0 +1,285 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"strings"
+
+	"femtocr/internal/analysis/flow"
+)
+
+// SeedFlow proves RNG provenance: every rng.Stream a simulation package
+// touches must descend from the seeded root (rng.New) through Split /
+// SplitIndex. Orphan streams (zero-value constructions) silently decouple
+// a component from the root seed, hard-coded literal seeds in library
+// packages create a second root the caller cannot control, and a stream
+// shared with a goroutine races its PCG state — all three destroy the
+// bit-reproducibility that the determinism regression tests rely on.
+var SeedFlow = &Analyzer{
+	Name: "seedflow",
+	Doc:  "rng.Stream values not derived from the seeded root: orphan streams, hard-coded root seeds, streams shared across goroutines",
+	Run:  runSeedFlow,
+}
+
+// seedRootPackages are the module-relative prefixes allowed to create RNG
+// roots with literal seeds: command-line entry points, runnable examples,
+// and the experiment harness (whose figures fix seeds by design).
+var seedRootPackages = []string{"cmd/", "examples/", "internal/experiments"}
+
+func runSeedFlow(pass *Pass) {
+	rel := pass.Rel()
+	if rel == "internal/rng" {
+		return // the one package allowed to construct streams
+	}
+	sf := &seedFlow{pass: pass, fresh: make(map[*types.Func]freshState)}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.CompositeLit:
+				if isStreamType(pass.Info.TypeOf(x)) {
+					pass.Reportf(x.Pos(), "orphan rng.Stream: zero-value construction is not derived from the seeded root; use rng.New or Split")
+				}
+			case *ast.CallExpr:
+				sf.checkCall(x, rel)
+			case *ast.ValueSpec:
+				if x.Type != nil && len(x.Values) == 0 && isStreamValueType(pass.Info.TypeOf(x.Type)) {
+					pass.Reportf(x.Pos(), "orphan rng.Stream: zero-value var is not derived from the seeded root; use rng.New or Split")
+				}
+			case *ast.StructType:
+				for _, f := range x.Fields.List {
+					if isStreamValueType(pass.Info.TypeOf(f.Type)) {
+						pass.Reportf(f.Pos(), "value-typed rng.Stream field starts as an orphan zero stream; store *rng.Stream from a Split instead")
+					}
+				}
+			case *ast.GoStmt:
+				sf.checkGo(x)
+			case *ast.FuncDecl:
+				sf.checkSplitLabels(x)
+			}
+			return true
+		})
+	}
+}
+
+type seedFlow struct {
+	pass  *Pass
+	fresh map[*types.Func]freshState
+}
+
+type freshState int
+
+const (
+	freshUnknown freshState = iota
+	freshVisiting
+	freshYes
+	freshNo
+)
+
+// checkCall flags new(rng.Stream) and hard-coded literal seeds to rng.New
+// outside the entry-point packages.
+func (sf *seedFlow) checkCall(call *ast.CallExpr, rel string) {
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "new" && len(call.Args) == 1 {
+		if _, isBuiltin := sf.pass.Info.Uses[id].(*types.Builtin); isBuiltin && isStreamValueType(sf.pass.Info.TypeOf(call.Args[0])) {
+			sf.pass.Reportf(call.Pos(), "orphan rng.Stream: new(rng.Stream) is not derived from the seeded root; use rng.New or Split")
+			return
+		}
+	}
+	fn := flow.Callee(sf.pass.Info, call)
+	if fn == nil || !isRNGFunc(fn, "New") || len(call.Args) != 1 {
+		return
+	}
+	tv, ok := sf.pass.Info.Types[call.Args[0]]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.Int {
+		return // seed is plumbed from a variable, parameter, or config
+	}
+	for _, allowed := range seedRootPackages {
+		if rel == strings.TrimSuffix(allowed, "/") || strings.HasPrefix(rel, allowed) {
+			return
+		}
+	}
+	sf.pass.Reportf(call.Pos(), "rng.New(%s) with a hard-coded seed creates a second RNG root in library package %s; accept a *rng.Stream split from the caller's root", tv.Value, sf.pass.Path)
+}
+
+// checkGo flags streams that cross into a goroutine without a fresh
+// per-goroutine Split: stream-typed call arguments that are not freshly
+// derived, and stream variables captured by the goroutine's function
+// literal.
+func (sf *seedFlow) checkGo(g *ast.GoStmt) {
+	for _, arg := range g.Call.Args {
+		if isStreamType(sf.pass.Info.TypeOf(arg)) && !sf.freshExpr(arg) {
+			sf.pass.Reportf(arg.Pos(), "rng.Stream shared with a goroutine; streams are not concurrency-safe — pass stream.Split(label) instead")
+		}
+	}
+	lit, ok := ast.Unparen(g.Call.Fun).(*ast.FuncLit)
+	if !ok {
+		return
+	}
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj, ok := sf.pass.Info.Uses[id].(*types.Var)
+		if !ok || !isStreamType(obj.Type()) {
+			return true
+		}
+		// Captured iff declared outside the literal.
+		if obj.Pos() < lit.Pos() || obj.Pos() > lit.End() {
+			sf.pass.Reportf(id.Pos(), "rng.Stream %q captured by a goroutine; streams are not concurrency-safe — derive one per goroutine with Split", id.Name)
+		}
+		return true
+	})
+}
+
+// checkSplitLabels flags two Split calls on the same receiver with the
+// same constant label inside one function: the "independent" child streams
+// are bit-identical, which is almost never intended.
+func (sf *seedFlow) checkSplitLabels(fd *ast.FuncDecl) {
+	type key struct {
+		recv  types.Object
+		label string
+	}
+	seen := make(map[key]bool)
+	ast.Inspect(fd, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := flow.Callee(sf.pass.Info, call)
+		if fn == nil || !isRNGFunc(fn, "Split") || len(call.Args) != 1 {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		recv := rootIdent(sel.X)
+		if recv == nil {
+			return true
+		}
+		obj := sf.pass.Info.ObjectOf(recv)
+		tv, tok := sf.pass.Info.Types[call.Args[0]]
+		if obj == nil || !tok || tv.Value == nil || tv.Value.Kind() != constant.String {
+			return true
+		}
+		k := key{recv: obj, label: constant.StringVal(tv.Value)}
+		if seen[k] {
+			sf.pass.Reportf(call.Pos(), "duplicate Split label %q on the same stream: the derived streams are bit-identical, not independent", k.label)
+		}
+		seen[k] = true
+		return true
+	})
+}
+
+// freshExpr reports whether e yields a freshly derived stream: a direct
+// New/Split/SplitIndex call, a call into a module function all of whose
+// return paths are fresh (resolved interprocedurally through the flow
+// index), or a local variable whose sole definition is fresh.
+func (sf *seedFlow) freshExpr(e ast.Expr) bool {
+	return sf.freshIn(e, sf.pass.Info, nil)
+}
+
+func (sf *seedFlow) freshIn(e ast.Expr, info *types.Info, du *flow.DefUse) bool {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.CallExpr:
+		fn := flow.Callee(info, x)
+		if fn == nil {
+			return false
+		}
+		if isRNGFunc(fn, "New") || isRNGFunc(fn, "Split") || isRNGFunc(fn, "SplitIndex") {
+			return true
+		}
+		return sf.freshFunc(fn)
+	case *ast.Ident:
+		v, ok := info.ObjectOf(x).(*types.Var)
+		if !ok || du == nil {
+			return false
+		}
+		if def := du.SoleDef(v); def != nil {
+			return sf.freshIn(def, info, du)
+		}
+		return false
+	}
+	return false
+}
+
+// freshFunc reports whether every return path of a module function yields
+// a fresh stream, memoized; cycles and unindexed functions are
+// conservatively not fresh.
+func (sf *seedFlow) freshFunc(fn *types.Func) bool {
+	switch sf.fresh[fn] {
+	case freshYes:
+		return true
+	case freshNo, freshVisiting:
+		return false
+	}
+	ix := sf.pass.Index
+	if ix == nil {
+		return false
+	}
+	body := ix.FuncOf(fn)
+	if body == nil {
+		sf.fresh[fn] = freshNo
+		return false
+	}
+	sf.fresh[fn] = freshVisiting
+	du := flow.NewDefUse(body.Decl, body.Info)
+	fresh := true
+	returns := 0
+	ast.Inspect(body.Decl, func(n ast.Node) bool {
+		if _, isLit := n.(*ast.FuncLit); isLit {
+			return false
+		}
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok {
+			return true
+		}
+		for _, res := range ret.Results {
+			if !isStreamType(body.Info.TypeOf(res)) {
+				continue
+			}
+			returns++
+			if !sf.freshIn(res, body.Info, du) {
+				fresh = false
+			}
+		}
+		return true
+	})
+	if returns == 0 {
+		fresh = false
+	}
+	if fresh {
+		sf.fresh[fn] = freshYes
+	} else {
+		sf.fresh[fn] = freshNo
+	}
+	return fresh
+}
+
+// isRNGFunc reports whether fn is the named function or method of the
+// internal/rng package.
+func isRNGFunc(fn *types.Func, name string) bool {
+	return fn.Name() == name && fn.Pkg() != nil && strings.HasSuffix(fn.Pkg().Path(), "internal/rng")
+}
+
+// isStreamType reports whether t is rng.Stream or *rng.Stream.
+func isStreamType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	return isStreamValueType(t)
+}
+
+// isStreamValueType reports whether t is the value type rng.Stream.
+func isStreamValueType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Stream" && obj.Pkg() != nil && strings.HasSuffix(obj.Pkg().Path(), "internal/rng")
+}

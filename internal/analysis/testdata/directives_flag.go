@@ -1,0 +1,27 @@
+//femtovet:fixturepath femtocr/internal/dirfixture
+
+// Malformed directives the meta-check must flag. The want comments share
+// the directive lines, so the directive arguments below deliberately absorb
+// them; each stays malformed either way.
+package fixture
+
+//femtovet:ignore -- reason without analyzers // want "bare femtovet:ignore suppresses nothing"
+var a = 1
+
+//femtovet:ignore nosuch -- not a real analyzer // want "names unknown analyzer"
+var b = 2
+
+//femtovet:unit decibels // want "not a registered unit family"
+var c = 3.0
+
+//femtovet:index -- no domains given // want "needs a comma-separated list of axis domains"
+var d []float64
+
+//femtovet:index Users // want "must be a lowercase word"
+var e []float64
+
+//femtovet:fixturepath -- missing path argument // want "needs an import path argument"
+var f = 4
+
+//femtovet:frobnicate x // want "unknown femtovet directive"
+var g = 5

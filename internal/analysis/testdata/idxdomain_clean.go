@@ -1,0 +1,44 @@
+//femtovet:fixturepath femtocr/internal/idxclean
+
+// Clean index usage: loop variables stay on the axis they were bound to,
+// annotated counts line up with annotated containers, and len() bounds
+// inherit the container's domain.
+package fixture
+
+type alloc struct {
+	rate [][]float64 //femtovet:index user,channel
+}
+
+// numLinks is an annotated count with no naming convention behind it.
+//
+//femtovet:index user
+func numLinks(users []float64) int { return len(users) }
+
+func matched(users []float64, numUsers int) float64 {
+	total := 0.0
+	for j := 0; j < numUsers; j++ {
+		total += users[j]
+	}
+	return total
+}
+
+func lenBound(users []float64) float64 {
+	total := 0.0
+	for j := 0; j < len(users); j++ {
+		total += users[j]
+	}
+	return total
+}
+
+func rightAxes(a alloc, users []float64, numChannels int) {
+	for j := 0; j < numLinks(users); j++ {
+		for m := 0; m < numChannels; m++ {
+			_ = a.rate[j][m]
+		}
+	}
+}
+
+func freeVariable(users []float64, k int) float64 {
+	// k has no tracked domain, so indexing with it is not judged.
+	return users[k]
+}

@@ -1,0 +1,45 @@
+//femtovet:fixturepath femtocr/internal/idxfixture
+
+// Seeded violations: length-N (user) structures indexed with M-domain
+// (channel) loop variables, through naming conventions, annotations,
+// make() propagation, and multi-dimensional containers.
+package fixture
+
+type alloc struct {
+	rate [][]float64 //femtovet:index user,channel
+}
+
+func conventionMismatch(users []float64, numChannels int) float64 {
+	total := 0.0
+	for m := 0; m < numChannels; m++ {
+		total += users[m] // want "user-indexed container users indexed with channel-domain variable m"
+	}
+	return total
+}
+
+func rangeMismatch(users []float64, channels []int) {
+	for m := range channels {
+		_ = users[m] // want "user-indexed container users indexed with channel-domain variable m"
+	}
+}
+
+func madeMismatch(numUsers, numChannels int) {
+	weights := make([]float64, numUsers)
+	for m := 0; m < numChannels; m++ {
+		weights[m] = 0 // want "user-indexed container weights indexed with channel-domain variable m"
+	}
+}
+
+func swappedAxes(a alloc, numUsers, numChannels int) {
+	for j := 0; j < numUsers; j++ {
+		for m := 0; m < numChannels; m++ {
+			_ = a.rate[m][j] // want "index-domain mismatch"
+		}
+	}
+}
+
+func offsetKeepsDomain(users []float64, numChannels int) {
+	for m := 0; m < numChannels; m++ {
+		_ = users[m+1] // want "user-indexed container users indexed with channel-domain variable m\+1"
+	}
+}

@@ -1,0 +1,33 @@
+//femtovet:fixturepath femtocr/internal/seedclean
+
+// Clean RNG provenance: streams plumbed from the caller's root, fresh
+// per-goroutine splits (directly and through a helper), distinct Split
+// labels, and seeds taken from configuration rather than literals.
+package fixture
+
+import "femtocr/internal/rng"
+
+type simulator struct {
+	stream *rng.Stream // pointer from a Split, not a value-typed orphan
+}
+
+func build(seed uint64) *simulator {
+	root := rng.New(seed) // seed is plumbed, not hard-coded
+	return &simulator{stream: root.Split("sim")}
+}
+
+func derive(root *rng.Stream) *rng.Stream {
+	return root.Split("derived")
+}
+
+func consume(s *rng.Stream) { _ = s.Float64() }
+
+func fanOut(root *rng.Stream) {
+	go consume(root.Split("worker/1"))  // fresh split per goroutine
+	go consume(root.SplitIndex("w", 2)) // fresh indexed split
+	go consume(derive(root))            // fresh through a module helper
+}
+
+func distinctLabels(root *rng.Stream) (*rng.Stream, *rng.Stream) {
+	return root.Split("alpha"), root.Split("beta")
+}

@@ -1,0 +1,43 @@
+//femtovet:fixturepath femtocr/internal/seedfixture
+
+// Seeded violations: orphan streams, a hard-coded root seed in a library
+// package, streams crossing into goroutines, and duplicate Split labels.
+package fixture
+
+import "femtocr/internal/rng"
+
+type holder struct {
+	s rng.Stream // want "value-typed rng.Stream field starts as an orphan zero stream"
+}
+
+func orphanVar() *rng.Stream {
+	var s rng.Stream // want "orphan rng.Stream: zero-value var"
+	return &s
+}
+
+func orphanLit() *rng.Stream {
+	return &rng.Stream{} // want "orphan rng.Stream: zero-value construction"
+}
+
+func orphanNew() *rng.Stream {
+	return new(rng.Stream) // want "orphan rng.Stream: new.rng.Stream."
+}
+
+func hardSeed() *rng.Stream {
+	return rng.New(42) // want "hard-coded seed creates a second RNG root"
+}
+
+func worker(s *rng.Stream) { _ = s.Float64() }
+
+func sharedWithGoroutine(root *rng.Stream) {
+	go worker(root) // want "rng.Stream shared with a goroutine"
+	go func() {
+		_ = root.Float64() // want "captured by a goroutine"
+	}()
+}
+
+func duplicateLabels(root *rng.Stream) (*rng.Stream, *rng.Stream) {
+	a := root.Split("child")
+	b := root.Split("child") // want "duplicate Split label .child."
+	return a, b
+}

@@ -1,0 +1,33 @@
+//femtovet:fixturepath femtocr/internal/unitclean
+
+// Clean unit usage: same-family arithmetic, sanctioned dB/linear bridges,
+// unit-free constants, and multiplicative combinations across families.
+package fixture
+
+import "femtocr/internal/fading"
+
+var noiseFloorDB float64 //femtovet:unit dB
+
+func sameFamily(gainDB float64) float64 {
+	return gainDB + noiseFloorDB // dB + dB
+}
+
+func bridged(gainDB float64) float64 {
+	lin := fading.FromDB(gainDB)
+	return lin * 2 // constants are unit-free
+}
+
+func backToDB(sinrLin float64) float64 {
+	var sinr float64 //femtovet:unit linear
+	sinr = sinrLin
+	return fading.ToDB(sinr)
+}
+
+func scaleAcrossFamilies(share float64, rateBps float64) float64 {
+	// Multiplication legitimately combines families (share * rate).
+	return share * rateBps
+}
+
+func constantsAdoptUnits(psnr float64) float64 {
+	return psnr + 0.5 // constant adopts dB
+}

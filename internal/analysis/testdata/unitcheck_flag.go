@@ -1,0 +1,42 @@
+//femtovet:fixturepath femtocr/internal/unitfixture
+
+// Seeded violations: dB and linear quantities (and probabilities) meeting
+// under +, assignment, parameter passing, field initialization, and return.
+package fixture
+
+import "femtocr/internal/fading"
+
+//femtovet:unit linear
+func sinrFloor() float64 { return 2.5 }
+
+var thresholdLin float64 //femtovet:unit linear
+
+type link struct {
+	gain float64 //femtovet:unit linear
+}
+
+func addMix(gainDB float64) float64 {
+	return gainDB + sinrFloor() // want "left operand of .\+. is dB but the right operand is linear"
+}
+
+func assignMix(psnr float64) {
+	thresholdLin = psnr // want "assigning dB value to linear destination; convert with fading.FromDB/ToDB"
+}
+
+func callMix() float64 {
+	return fading.FromDB(sinrFloor()) // want "linear value passed to dB parameter"
+}
+
+func fieldMix(marginDB float64) link {
+	return link{gain: marginDB} // want "dB value assigned to linear field .gain."
+}
+
+func resultMixDB(x float64) float64 {
+	var sinr float64 //femtovet:unit linear
+	sinr = x
+	return sinr // want "returning linear value from dB-result function resultMixDB"
+}
+
+func probMix(lossProb float64) {
+	thresholdLin = lossProb // want "assigning prob value to linear destination"
+}

@@ -1,0 +1,250 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"femtocr/internal/analysis/flow"
+)
+
+// UnitCheck enforces the units-of-measure registry: quantities of
+// different families (dB vs linear power ratios, probabilities, time-share
+// fractions, rates, slot counts) must not meet under +, -, comparison,
+// assignment, field initialization, parameter passing, or return. The
+// compiler sees only float64 everywhere; a dB value slipped into eq. (8)'s
+// linear SINR threshold silently shifts every loss probability in the run.
+// For dB/linear mismatches the finding carries a mechanical fix that wraps
+// the value in fading.FromDB or fading.ToDB.
+var UnitCheck = &Analyzer{
+	Name: "unitcheck",
+	Doc:  "arithmetic, assignments, or calls mixing unit families (dB, linear, bps, prob, share, slots)",
+	Run:  runUnitCheck,
+}
+
+func runUnitCheck(pass *Pass) {
+	reg := unitsFor(pass.Index)
+	for _, file := range pass.Files {
+		uc := &unitChecker{pass: pass, reg: reg, file: file}
+		var stack []ast.Node
+		ast.Inspect(file, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return true
+			}
+			switch x := n.(type) {
+			case *ast.BinaryExpr:
+				uc.checkBinary(x)
+			case *ast.AssignStmt:
+				uc.checkAssign(x)
+			case *ast.CallExpr:
+				uc.checkCall(x)
+			case *ast.CompositeLit:
+				uc.checkComposite(x)
+			case *ast.ReturnStmt:
+				uc.checkReturn(x, stack)
+			}
+			stack = append(stack, n)
+			return true
+		})
+	}
+}
+
+type unitChecker struct {
+	pass *Pass
+	reg  *unitRegistry
+	file *ast.File
+}
+
+// mixableOps are the binary operators across which unit families must
+// agree. Multiplication and division legitimately combine families
+// (share * rate, gain * SINR), so they are exempt.
+var mixableOps = map[token.Token]bool{
+	token.ADD: true, token.SUB: true,
+	token.LSS: true, token.GTR: true,
+	token.LEQ: true, token.GEQ: true,
+	token.EQL: true, token.NEQ: true,
+}
+
+func (uc *unitChecker) checkBinary(be *ast.BinaryExpr) {
+	if !mixableOps[be.Op] {
+		return
+	}
+	ux := uc.reg.exprUnit(uc.pass.Info, be.X)
+	uy := uc.reg.exprUnit(uc.pass.Info, be.Y)
+	if ux == "" || uy == "" || ux == uy {
+		return
+	}
+	uc.pass.ReportFixf(be.Pos(), uc.conversionFix(be.Y, uy, ux),
+		"unit mismatch: left operand of %q is %s but the right operand is %s%s",
+		be.Op, ux, uy, conversionHint(ux, uy))
+}
+
+func (uc *unitChecker) checkAssign(as *ast.AssignStmt) {
+	switch as.Tok {
+	case token.ASSIGN, token.DEFINE, token.ADD_ASSIGN, token.SUB_ASSIGN:
+	default:
+		return
+	}
+	if len(as.Lhs) != len(as.Rhs) {
+		return
+	}
+	for i, lhs := range as.Lhs {
+		ul := uc.reg.exprUnit(uc.pass.Info, lhs)
+		ur := uc.reg.exprUnit(uc.pass.Info, as.Rhs[i])
+		if ul == "" || ur == "" || ul == ur {
+			continue
+		}
+		uc.pass.ReportFixf(as.Rhs[i].Pos(), uc.conversionFix(as.Rhs[i], ur, ul),
+			"unit mismatch: assigning %s value to %s destination%s", ur, ul, conversionHint(ul, ur))
+	}
+}
+
+func (uc *unitChecker) checkCall(call *ast.CallExpr) {
+	fn := flow.Callee(uc.pass.Info, call)
+	if fn == nil {
+		return
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Params() == nil {
+		return
+	}
+	for i, arg := range call.Args {
+		idx := i
+		if sig.Variadic() && idx >= sig.Params().Len()-1 {
+			idx = sig.Params().Len() - 1
+		}
+		if idx >= sig.Params().Len() {
+			break
+		}
+		want := uc.reg.paramUnit(fn, idx)
+		got := uc.reg.exprUnit(uc.pass.Info, arg)
+		if want == "" || got == "" || want == got {
+			continue
+		}
+		name := sig.Params().At(idx).Name()
+		if name == "" {
+			name = "_"
+		}
+		uc.pass.ReportFixf(arg.Pos(), uc.conversionFix(arg, got, want),
+			"unit mismatch: %s value passed to %s parameter %q of %s%s",
+			got, want, name, qualifiedName(fn), conversionHint(want, got))
+	}
+}
+
+func (uc *unitChecker) checkComposite(lit *ast.CompositeLit) {
+	for _, elt := range lit.Elts {
+		kv, ok := elt.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		key, ok := kv.Key.(*ast.Ident)
+		if !ok {
+			continue
+		}
+		want := uc.reg.objUnit(uc.pass.Info.ObjectOf(key))
+		got := uc.reg.exprUnit(uc.pass.Info, kv.Value)
+		if want == "" || got == "" || want == got {
+			continue
+		}
+		uc.pass.ReportFixf(kv.Value.Pos(), uc.conversionFix(kv.Value, got, want),
+			"unit mismatch: %s value assigned to %s field %q%s", got, want, key.Name, conversionHint(want, got))
+	}
+}
+
+func (uc *unitChecker) checkReturn(ret *ast.ReturnStmt, stack []ast.Node) {
+	if len(ret.Results) != 1 {
+		return
+	}
+	fd := enclosingDecl(stack)
+	if fd == nil {
+		return
+	}
+	fn, ok := uc.pass.Info.Defs[fd.Name].(*types.Func)
+	if !ok {
+		return
+	}
+	want := uc.reg.resultUnit(fn)
+	got := uc.reg.exprUnit(uc.pass.Info, ret.Results[0])
+	if want == "" || got == "" || want == got {
+		return
+	}
+	uc.pass.ReportFixf(ret.Results[0].Pos(), uc.conversionFix(ret.Results[0], got, want),
+		"unit mismatch: returning %s value from %s-result function %s%s",
+		got, want, fn.Name(), conversionHint(want, got))
+}
+
+// enclosingDecl returns the innermost FuncDecl on the ancestor stack, or
+// nil inside func literals (whose result units are not tracked).
+func enclosingDecl(stack []ast.Node) *ast.FuncDecl {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch d := stack[i].(type) {
+		case *ast.FuncLit:
+			return nil
+		case *ast.FuncDecl:
+			return d
+		}
+	}
+	return nil
+}
+
+// conversionHint suggests the dB/linear bridge when the mismatch is
+// exactly that pair.
+func conversionHint(a, b Unit) string {
+	if (a == UnitDB && b == UnitLinear) || (a == UnitLinear && b == UnitDB) {
+		return "; convert with fading.FromDB/ToDB"
+	}
+	return ""
+}
+
+// conversionFix builds the mechanical rewrite wrapping expr to convert
+// from got to want, when the pair is dB/linear and the conversion
+// functions are reachable from the file.
+func (uc *unitChecker) conversionFix(expr ast.Expr, got, want Unit) *Fix {
+	var fnName string
+	switch {
+	case got == UnitDB && want == UnitLinear:
+		fnName = "FromDB"
+	case got == UnitLinear && want == UnitDB:
+		fnName = "ToDB"
+	default:
+		return nil
+	}
+	qual, ok := uc.fadingQualifier()
+	if !ok {
+		return nil
+	}
+	call := qual + fnName
+	return &Fix{
+		Message: "wrap with " + call,
+		Edits: []TextEdit{
+			{Pos: expr.Pos(), End: expr.Pos(), NewText: call + "("},
+			{Pos: expr.End(), End: expr.End(), NewText: ")"},
+		},
+	}
+}
+
+// fadingQualifier returns the prefix for calling the fading conversion
+// helpers from this file: "" inside the fading package itself, the import
+// name when the file imports it, and ok=false otherwise (no fix offered
+// rather than an import rewrite).
+func (uc *unitChecker) fadingQualifier() (string, bool) {
+	if strings.HasSuffix(uc.pass.Path, "internal/fading") {
+		return "", true
+	}
+	for _, imp := range uc.file.Imports {
+		path := strings.Trim(imp.Path.Value, `"`)
+		if !strings.HasSuffix(path, "internal/fading") {
+			continue
+		}
+		if imp.Name != nil {
+			if imp.Name.Name == "_" || imp.Name.Name == "." {
+				return "", false
+			}
+			return imp.Name.Name + ".", true
+		}
+		return "fading.", true
+	}
+	return "", false
+}

@@ -1,0 +1,304 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"femtocr/internal/analysis/flow"
+)
+
+// Unit is one unit-of-measure family tracked by the unitcheck analyzer.
+// Quantities of different families must never meet under +, -, comparison,
+// assignment, or parameter passing; dB and linear power ratios additionally
+// have dedicated conversion functions (fading.FromDB / fading.ToDB) that
+// unitcheck suggests as fixes.
+type Unit string
+
+// The unit families of the registry. They mirror the physical quantities
+// the paper's equations move between: logarithmic power ratios and PSNR
+// (dB), linear power ratios (SINR, channel gain), link rates (bps),
+// probabilities (sensing errors, posteriors, loss rates), time-share
+// fractions rho in [0, 1] of eq. (10), and slot counts.
+const (
+	UnitDB     Unit = "dB"
+	UnitLinear Unit = "linear"
+	UnitBps    Unit = "bps"
+	UnitProb   Unit = "prob"
+	UnitShare  Unit = "share"
+	UnitSlots  Unit = "slots"
+)
+
+// knownUnits maps annotation spellings to families.
+var knownUnits = map[string]Unit{
+	"dB":     UnitDB,
+	"db":     UnitDB,
+	"linear": UnitLinear,
+	"bps":    UnitBps,
+	"prob":   UnitProb,
+	"share":  UnitShare,
+	"slots":  UnitSlots,
+}
+
+// conversionFuncs are the sanctioned unit-crossing functions, keyed by the
+// suffix of types.Func.FullName so fixtures and the module itself resolve
+// identically. Each entry gives the unit of the sole parameter and of the
+// result.
+var conversionFuncs = map[string]struct{ param, result Unit }{
+	"internal/fading.FromDB": {UnitDB, UnitLinear},
+	"internal/fading.ToDB":   {UnitLinear, UnitDB},
+}
+
+// unitWords maps identifier word segments (via splitWords) to families.
+// The dB suffix convention is handled separately since "dB" splits
+// unhelpfully.
+var unitWords = map[string]Unit{
+	"psnr":          UnitDB,
+	"prob":          UnitProb,
+	"probability":   UnitProb,
+	"probabilities": UnitProb,
+	"posterior":     UnitProb,
+	"posteriors":    UnitProb,
+	"pfa":           UnitProb,
+	"pmd":           UnitProb,
+	"share":         UnitShare,
+	"shares":        UnitShare,
+	"bps":           UnitBps,
+	"kbps":          UnitBps,
+	"mbps":          UnitBps,
+}
+
+// unitFromName derives a unit from an identifier by naming convention:
+// a DB/Db/dB suffix marks decibels, and word segments like PSNR, Prob,
+// Share, and Bps mark their families.
+func unitFromName(name string) Unit {
+	if strings.HasSuffix(name, "DB") || strings.HasSuffix(name, "Db") ||
+		strings.HasSuffix(name, "dB") || name == "db" {
+		return UnitDB
+	}
+	for _, w := range splitWords(name) {
+		if u, ok := unitWords[w]; ok {
+			return u
+		}
+	}
+	return ""
+}
+
+// unitRegistry resolves units of objects and expressions for one analysis
+// run. Annotations come from //femtovet:unit directives anywhere in the
+// module (collected through the flow index); everything else falls back to
+// naming conventions.
+type unitRegistry struct {
+	annotated map[types.Object]Unit
+}
+
+// unitRegistries memoizes one registry per flow index; analyzers run
+// sequentially, so plain map access is safe.
+var unitRegistries = map[*flow.Index]*unitRegistry{}
+
+// unitsFor returns the memoized registry for the given index, building it
+// on first use. A nil index yields an annotation-free registry.
+func unitsFor(ix *flow.Index) *unitRegistry {
+	if ix == nil {
+		return &unitRegistry{annotated: map[types.Object]Unit{}}
+	}
+	if r, ok := unitRegistries[ix]; ok {
+		return r
+	}
+	r := &unitRegistry{annotated: map[types.Object]Unit{}}
+	for _, p := range ix.Packages() {
+		for _, file := range p.Files {
+			r.collectFile(file, p.Info)
+		}
+	}
+	unitRegistries[ix] = r
+	return r
+}
+
+// collectFile records every //femtovet:unit annotation of one file. The
+// directive may sit on a var/const spec, a struct field, a function
+// parameter or result field, or a function declaration (where it names the
+// result unit).
+func (r *unitRegistry) collectFile(file *ast.File, info *types.Info) {
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.GenDecl:
+			if u, ok := unitDirective(x.Doc); ok {
+				for _, spec := range x.Specs {
+					if vs, ok := spec.(*ast.ValueSpec); ok {
+						r.bindNames(info, vs.Names, u)
+					}
+				}
+			}
+		case *ast.ValueSpec:
+			if u, ok := unitDirective(x.Doc, x.Comment); ok {
+				r.bindNames(info, x.Names, u)
+			}
+		case *ast.Field:
+			if u, ok := unitDirective(x.Doc, x.Comment); ok {
+				r.bindNames(info, x.Names, u)
+			}
+		case *ast.FuncDecl:
+			if u, ok := unitDirective(x.Doc); ok {
+				if obj, isFn := info.Defs[x.Name].(*types.Func); isFn {
+					r.annotated[obj] = u
+				}
+			}
+		}
+		return true
+	})
+}
+
+func (r *unitRegistry) bindNames(info *types.Info, names []*ast.Ident, u Unit) {
+	for _, name := range names {
+		if obj := info.Defs[name]; obj != nil {
+			r.annotated[obj] = u
+		}
+	}
+}
+
+// unitDirective extracts a //femtovet:unit annotation from the given
+// comment groups.
+func unitDirective(groups ...*ast.CommentGroup) (Unit, bool) {
+	for _, cg := range groups {
+		if cg == nil {
+			continue
+		}
+		for _, c := range cg.List {
+			d, ok := parseDirective(c.Text)
+			if !ok || d.Kind != "unit" {
+				continue
+			}
+			if u, known := knownUnits[d.Arg]; known {
+				return u, true
+			}
+		}
+	}
+	return "", false
+}
+
+// objUnit resolves the unit of a declared object: explicit annotation
+// first, then the naming convention, restricted to numeric-valued objects
+// (or containers of numerics, whose elements carry the unit).
+func (r *unitRegistry) objUnit(obj types.Object) Unit {
+	if obj == nil {
+		return ""
+	}
+	if u, ok := r.annotated[obj]; ok {
+		return u
+	}
+	switch obj.(type) {
+	case *types.Var, *types.Const:
+		if !numericValued(obj.Type()) {
+			return ""
+		}
+		return unitFromName(obj.Name())
+	}
+	return ""
+}
+
+// paramUnit resolves the unit expected by the i-th parameter of fn.
+func (r *unitRegistry) paramUnit(fn *types.Func, i int) Unit {
+	if conv, ok := conversionFuncs[convKey(fn)]; ok && i == 0 {
+		return conv.param
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Params() == nil || i >= sig.Params().Len() {
+		return ""
+	}
+	return r.objUnit(sig.Params().At(i))
+}
+
+// resultUnit resolves the unit of fn's single result: the conversion
+// table, an explicit annotation on the declaration, or the naming
+// convention applied to the function name.
+func (r *unitRegistry) resultUnit(fn *types.Func) Unit {
+	if conv, ok := conversionFuncs[convKey(fn)]; ok {
+		return conv.result
+	}
+	if u, ok := r.annotated[fn]; ok {
+		return u
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Results() == nil || sig.Results().Len() != 1 {
+		return ""
+	}
+	if !numericValued(sig.Results().At(0).Type()) {
+		return ""
+	}
+	return unitFromName(fn.Name())
+}
+
+// convKey renders the conversion-table key for fn: the tail of its full
+// name starting at the last "internal/" segment, or the full name.
+func convKey(fn *types.Func) string {
+	full := fn.FullName()
+	if i := strings.LastIndex(full, "internal/"); i >= 0 {
+		return full[i:]
+	}
+	return full
+}
+
+// exprUnit infers the unit family of an expression, returning "" when
+// unknown. Constants are unit-free: they adopt the unit of whatever they
+// meet, so they never conflict.
+func (r *unitRegistry) exprUnit(info *types.Info, e ast.Expr) Unit {
+	if tv, ok := info.Types[e]; ok && tv.Value != nil {
+		return "" // compile-time constant, unit-free
+	}
+	switch x := e.(type) {
+	case *ast.ParenExpr:
+		return r.exprUnit(info, x.X)
+	case *ast.UnaryExpr:
+		return r.exprUnit(info, x.X)
+	case *ast.Ident:
+		return r.objUnit(info.ObjectOf(x))
+	case *ast.SelectorExpr:
+		obj := info.ObjectOf(x.Sel)
+		if _, isFn := obj.(*types.Func); isFn {
+			return "" // method value; call results are handled below
+		}
+		return r.objUnit(obj)
+	case *ast.IndexExpr:
+		// Elements of a registered container carry the container's unit.
+		return r.exprUnit(info, x.X)
+	case *ast.CallExpr:
+		if fn := flow.Callee(info, x); fn != nil {
+			return r.resultUnit(fn)
+		}
+		return ""
+	case *ast.BinaryExpr:
+		ux := r.exprUnit(info, x.X)
+		uy := r.exprUnit(info, x.Y)
+		switch x.Op.String() {
+		case "+", "-":
+			if ux == uy {
+				return ux
+			}
+			if ux == "" {
+				return uy
+			}
+			if uy == "" {
+				return ux
+			}
+		}
+		return ""
+	}
+	return ""
+}
+
+// numericValued reports whether t is a numeric basic type or an array,
+// slice, or map of one, unwrapping named types.
+func numericValued(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Basic:
+		return u.Info()&types.IsNumeric != 0
+	case *types.Slice:
+		return numericValued(u.Elem())
+	case *types.Array:
+		return numericValued(u.Elem())
+	case *types.Map:
+		return numericValued(u.Elem())
+	}
+	return false
+}

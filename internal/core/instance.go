@@ -29,24 +29,42 @@ var ErrNoSolution = errors.New("core: no solution")
 // Per FBS i (1-based): G[i-1] is the expected number of available licensed
 // channels G^t_i allocated to that FBS this slot.
 type Instance struct {
-	W   []float64
-	R0  []float64
-	R1  []float64
+	//femtovet:unit dB
+	//femtovet:index user
+	W []float64
+	//femtovet:unit dB
+	//femtovet:index user
+	R0 []float64
+	//femtovet:unit dB
+	//femtovet:index user
+	R1 []float64
+	//femtovet:unit prob
+	//femtovet:index user
 	PS0 []float64
+	//femtovet:unit prob
+	//femtovet:index user
 	PS1 []float64
+	//femtovet:index user
 	FBS []int
-	G   []float64
+	//femtovet:index fbs
+	G []float64
 	// WMax optionally holds each user's encoding quality ceiling (the PSNR
 	// of the MGS encoding at its saturation rate). When present, solvers
 	// never allocate share beyond the ceiling — extra rate past it cannot
 	// improve the reconstructed video. Nil means unbounded.
+	//femtovet:unit dB
+	//femtovet:index user
 	WMax []float64
 }
 
 // K returns the number of users.
+//
+//femtovet:index user
 func (in *Instance) K() int { return len(in.W) }
 
 // N returns the number of FBSs.
+//
+//femtovet:index fbs
 func (in *Instance) N() int { return len(in.G) }
 
 // Validate checks structural and numeric sanity.

@@ -32,7 +32,7 @@ var ErrBadChannel = errors.New("ofdm: invalid channel parameters")
 type Channel struct {
 	subcarriers int
 	corr        float64 // adjacent-subcarrier amplitude correlation in [0, 1)
-	beta        float64 // EESM calibration factor (linear)
+	beta        float64 //femtovet:unit linear -- EESM calibration factor
 }
 
 // NewChannel builds a channel with S subcarriers, adjacent-subcarrier
@@ -84,6 +84,8 @@ func (c *Channel) SampleGains(s *rng.Stream) []float64 {
 // SINR (linear). The sum is evaluated with the log-sum-exp shift so small
 // beta values (where exp(-SINR/beta) underflows) stay exact: the worst
 // subcarrier dominates, as EESM prescribes.
+//
+//femtovet:unit linear
 func (c *Channel) EffectiveSINR(sinrs []float64) float64 {
 	if len(sinrs) == 0 {
 		return 0
@@ -121,7 +123,7 @@ func SpectralEfficiency(sinrs []float64) float64 {
 // construction (EESM has no closed form).
 type GainModel struct {
 	ch       *Channel
-	meanSINR float64 // linear mean per-subcarrier SINR the model is built for
+	meanSINR float64 //femtovet:unit linear -- mean per-subcarrier SINR the model is built for
 	stream   *rng.Stream
 	table    []float64 // sorted normalized effective gains
 }

@@ -98,7 +98,7 @@ func (q *Queue) Push(p *Packet) error {
 func less(a, b *Packet) bool {
 	// Exact comparison is required here: a tolerance would make the strict
 	// weak ordering intransitive and corrupt the priority queue.
-	if a.Unit.Significance != b.Unit.Significance { //femtovet:ignore floateq
+	if a.Unit.Significance != b.Unit.Significance { //femtovet:ignore floateq -- exact compare keeps the heap ordering a strict weak order
 		return a.Unit.Significance < b.Unit.Significance
 	}
 	if a.GOP != b.GOP {

@@ -22,10 +22,10 @@ var ErrBadConfig = errors.New("spectrum: invalid configuration")
 
 // Band describes the spectrum: M licensed channels plus the common channel.
 type Band struct {
-	m      int
-	b0     float64 // common-channel capacity, Mbps
-	b1     float64 // per-licensed-channel capacity, Mbps
-	chains []markov.Chain
+	m      int            //femtovet:index channel
+	b0     float64        //femtovet:unit bps -- common-channel capacity, Mbps
+	b1     float64        //femtovet:unit bps -- per-licensed-channel capacity, Mbps
+	chains []markov.Chain //femtovet:index channel
 }
 
 // NewBand builds a band with M licensed channels, all following the same
@@ -59,6 +59,8 @@ func NewHeterogeneousBand(b0, b1 float64, chains []markov.Chain) (*Band, error) 
 }
 
 // M returns the number of licensed channels.
+//
+//femtovet:index channel
 func (b *Band) M() int { return b.m }
 
 // B0 returns the common-channel capacity in Mbps.
@@ -114,8 +116,8 @@ func (o Occupancy) Clone() Occupancy {
 // are added or removed.
 type Simulator struct {
 	band    *Band
-	state   Occupancy
-	streams []*rng.Stream
+	state   Occupancy     //femtovet:index channel
+	streams []*rng.Stream //femtovet:index channel
 	slot    int
 }
 

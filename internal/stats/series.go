@@ -98,7 +98,7 @@ func (f *Figure) Render() string {
 			for i, cx := range c.X {
 				// Grid-key lookup: x comes verbatim from the curves' X
 				// slices, so exact match is the intended semantics.
-				if cx == x { //femtovet:ignore floateq
+				if cx == x { //femtovet:ignore floateq -- grid-key lookup, exact by design
 					p := c.Points[i]
 					if p.HalfWidth > 0 {
 						cell = fmt.Sprintf("%.2f ±%.2f", p.Mean, p.HalfWidth)
@@ -153,7 +153,7 @@ func (f *Figure) CSV() string {
 			found := false
 			for i, cx := range c.X {
 				// Grid-key lookup, exact by design (see FormatTable).
-				if cx == x { //femtovet:ignore floateq
+				if cx == x { //femtovet:ignore floateq -- grid-key lookup, exact by design
 					p := c.Points[i]
 					fmt.Fprintf(&b, ",%g,%g,%g", p.Mean, p.Lo(), p.Hi())
 					found = true

@@ -2,11 +2,13 @@
 # Tier-1 verification gate for femtocr. CI runs this on every push/PR; run
 # it locally before merging. Steps:
 #
-#   1. gofmt        — formatting drift fails the gate
+#   1. gofmt -s     — formatting (and simplification) drift fails the gate
 #   2. go vet       — the compiler-adjacent standard checks
 #   3. go build     — the whole module must compile
-#   4. femtovet     — the domain-aware analyzer suite (determinism,
-#                     probability ranges, float comparisons, dropped errors)
+#   4. femtovet     — the domain-aware analyzer suite (determinism, units,
+#                     RNG provenance, index domains, probability ranges,
+#                     float comparisons, dropped errors), built once and run
+#                     against the checked-in baseline
 #   5. go test -race — all tests under the race detector
 #
 # Opt-in extras:
@@ -15,10 +17,10 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "==> gofmt"
-unformatted=$(gofmt -l .)
+echo "==> gofmt -s"
+unformatted=$(gofmt -s -l .)
 if [ -n "$unformatted" ]; then
-    echo "gofmt: the following files need formatting:" >&2
+    echo "gofmt: the following files need formatting (gofmt -s -w):" >&2
     echo "$unformatted" >&2
     exit 1
 fi
@@ -30,7 +32,10 @@ echo "==> go build"
 go build ./...
 
 echo "==> femtovet"
-go run ./cmd/femtovet ./...
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+go build -o "$tmp/femtovet" ./cmd/femtovet
+"$tmp/femtovet" -baseline femtovet.baseline.json ./...
 
 echo "==> go test -race"
 go test -race ./...
