@@ -16,6 +16,7 @@ import (
 	"io"
 	"os"
 
+	"femtocr/internal/experiments"
 	"femtocr/internal/netmodel"
 	"femtocr/internal/packetsim"
 	"femtocr/internal/safeio"
@@ -61,6 +62,7 @@ func run(args []string, w io.Writer) error {
 		subcar    = fs.Int("ofdm", 0, "OFDM subcarriers per channel (0: flat Rayleigh links)")
 		showTrace = fs.Bool("trace", false, "print a slot-trace summary of the first run")
 		asJSON    = fs.Bool("json", false, "emit the last run's result as JSON (for scripting)")
+		workers   = fs.Int("workers", 0, "concurrent replications (0: one per CPU); results are identical for any value")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -121,17 +123,18 @@ func run(args []string, w io.Writer) error {
 		*scenario, sch, cfg.M, cfg.Utilization(), cfg.Gamma, cfg.Eps, cfg.Delta, cfg.B0, cfg.B1)
 
 	if *packets {
-		return runPackets(out, net, sch, *seed, *runs, *gops)
+		return runPackets(out, net, sch, *seed, *runs, *gops, *workers)
 	}
 
-	var meanAcc, boundAcc, collAcc, fairAcc, minAcc stats.Running
-	perUser := make([][]float64, net.K())
-	var lastResult *sim.Result
-	for r := 0; r < *runs; r++ {
-		var rec *trace.Recorder
-		if *showTrace && r == 0 {
-			rec = &trace.Recorder{}
-		}
+	// Fan the replications over the worker pool: each run writes its result
+	// into its own slot, and all accumulation happens after the join in run
+	// order, so the report is identical for any worker count.
+	results := make([]*sim.Result, *runs)
+	recorders := make([]*trace.Recorder, *runs)
+	if *showTrace {
+		recorders[0] = &trace.Recorder{}
+	}
+	err = experiments.RunGrid(*runs, *workers, func(r int) error {
 		res, err := sim.Run(net, sim.Options{
 			Seed:                *seed + uint64(r),
 			GOPs:                *gops,
@@ -141,11 +144,22 @@ func run(args []string, w io.Writer) error {
 			DualIterations:      *dualIters,
 			TrackBeliefs:        *beliefs,
 			EstimateUtilization: *estimate,
-			Recorder:            rec,
+			Recorder:            recorders[r],
 		})
 		if err != nil {
-			return err
+			return fmt.Errorf("run %d (seed %d): %w", r, *seed+uint64(r), err)
 		}
+		results[r] = res
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+
+	var meanAcc, boundAcc, collAcc, fairAcc, minAcc stats.Running
+	perUser := make([][]float64, net.K())
+	var lastResult *sim.Result
+	for r, res := range results {
 		lastResult = res
 		meanAcc.Add(res.MeanPSNR)
 		collAcc.Add(res.CollisionRate)
@@ -157,9 +171,9 @@ func run(args []string, w io.Writer) error {
 		for j, v := range res.PerUserPSNR {
 			perUser[j] = append(perUser[j], v)
 		}
-		if rec != nil {
+		if recorders[r] != nil {
 			fmt.Fprintln(out, "\nslot-trace summary (run 1):")
-			fmt.Fprint(out, rec.Summarize().String())
+			fmt.Fprint(out, recorders[r].Summarize().String())
 			fmt.Fprintln(out)
 		}
 		if *dualTrace && r == 0 && res.DualTrace != nil {
@@ -190,7 +204,7 @@ func run(args []string, w io.Writer) error {
 		fmt.Fprintf(out, "eq.(23) upper bound: %.2f dB\n", boundAcc.Mean())
 	}
 	fmt.Fprintf(out, "worst user: %.2f dB | fairness (Jain on gains): %.3f\n", minAcc.Mean(), fairAcc.Mean())
-	fmt.Fprintf(out, "max collision rate: %.3f (gamma = %.2f)\n", collAcc.Mean(), cfg.Gamma)
+	fmt.Fprintf(out, "max conditional collision rate: %.3f (gamma = %.2f; collisions per truly-busy slot, eq. (6))\n", collAcc.Mean(), cfg.Gamma)
 	if *asJSON && lastResult != nil {
 		lastResult.DualTrace = nil // keep the JSON compact
 		enc := json.NewEncoder(out)
@@ -203,18 +217,26 @@ func run(args []string, w io.Writer) error {
 }
 
 // runPackets drives the packet-level engine and prints its statistics.
-func runPackets(out *safeio.Writer, net *netmodel.Network, sch sim.Scheme, seed uint64, runs, gops int) error {
-	var meanAcc stats.Running
-	var sent, retrans, dropped, bytes int
-	for r := 0; r < runs; r++ {
+func runPackets(out *safeio.Writer, net *netmodel.Network, sch sim.Scheme, seed uint64, runs, gops, workers int) error {
+	results := make([]*packetsim.Result, runs)
+	err := experiments.RunGrid(runs, workers, func(r int) error {
 		res, err := packetsim.Run(net, packetsim.Options{
 			Seed:   seed + uint64(r),
 			GOPs:   gops,
 			Scheme: sch,
 		})
 		if err != nil {
-			return err
+			return fmt.Errorf("run %d (seed %d): %w", r, seed+uint64(r), err)
 		}
+		results[r] = res
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	var meanAcc stats.Running
+	var sent, retrans, dropped, bytes int
+	for _, res := range results {
 		meanAcc.Add(res.MeanPSNR)
 		sent += res.SentPackets
 		retrans += res.Retransmissions

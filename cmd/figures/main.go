@@ -35,12 +35,13 @@ func run(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("figures", flag.ContinueOnError)
 	fs.SetOutput(out)
 	var (
-		fig   = fs.String("fig", "all", "figure id: all (paper figures) | everything (figures + ablations + extensions) | 3 | 4a | 4b | 4c | 6a | 6b | 6c | ablation-belief | ablation-sensor | gamma | engines | deadline | capacity | frontier | topology")
-		runs  = fs.Int("runs", 10, "independent replications per point")
-		gops  = fs.Int("gops", 20, "GOPs per run")
-		seed  = fs.Uint64("seed", 1000, "base seed")
-		quick = fs.Bool("quick", false, "smoke scale (2 runs x 3 GOPs)")
-		dir   = fs.String("out", "", "directory for .txt/.csv output (empty: stdout only)")
+		fig     = fs.String("fig", "all", "figure id: all (paper figures) | everything (figures + ablations + extensions) | 3 | 4a | 4b | 4c | 5 | 6a | 6b | 6c | ablation-belief | ablation-sensor | gamma | engines | deadline | capacity | frontier | topology")
+		runs    = fs.Int("runs", 10, "independent replications per point")
+		gops    = fs.Int("gops", 20, "GOPs per run")
+		seed    = fs.Uint64("seed", 1000, "base seed")
+		quick   = fs.Bool("quick", false, "smoke scale (2 runs x 3 GOPs)")
+		workers = fs.Int("workers", 0, "concurrent simulation runs (0: one per CPU); results are identical for any value")
+		dir     = fs.String("out", "", "directory for .txt/.csv output (empty: stdout only)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -50,12 +51,13 @@ func run(args []string, w io.Writer) error {
 	if *quick {
 		p = experiments.QuickParams()
 	}
+	p.Workers = *workers
 
 	var figures []experiments.Named
 	switch strings.ToLower(*fig) {
 	case "topology":
 		// Solver-level study (no figure object): render the table directly.
-		pts, err := experiments.TopologyStudy(*seed, *runs*2, 3)
+		pts, err := experiments.TopologyStudy(*seed, *runs*2, 3, *workers)
 		if err != nil {
 			return err
 		}
@@ -99,6 +101,7 @@ func run(args []string, w io.Writer) error {
 			{"capacity", func(p experiments.Params) (*stats.Figure, error) {
 				return experiments.UserCapacity(p, nil)
 			}},
+			{"frontier", experiments.SchemeFrontier},
 		}
 		for _, e := range extras {
 			f, err := e.run(p)
@@ -119,10 +122,11 @@ func run(args []string, w io.Writer) error {
 			return err
 		}
 		figures = append(figures, experiments.Named{ID: "fig4a", Figure: f})
-	case "4b", "4c", "6a", "6b", "6c", "ablation-belief", "ablation-sensor", "gamma", "engines", "deadline", "capacity", "frontier":
+	case "4b", "4c", "5", "6a", "6b", "6c", "ablation-belief", "ablation-sensor", "gamma", "engines", "deadline", "capacity", "frontier":
 		runners := map[string]func(experiments.Params) (*stats.Figure, error){
 			"4b":              experiments.Fig4b,
 			"4c":              experiments.Fig4c,
+			"5":               experiments.Fig5,
 			"6a":              experiments.Fig6a,
 			"6b":              experiments.Fig6b,
 			"6c":              experiments.Fig6c,

@@ -123,6 +123,10 @@ func Figure4b(p ExperimentParams) (*Figure, error) { return experiments.Fig4b(p)
 // Figure4c regenerates Fig. 4(c) (quality vs channel utilization).
 func Figure4c(p ExperimentParams) (*Figure, error) { return experiments.Fig4c(p) }
 
+// Figure5 reports per-user quality on the interfering Fig. 5 topology
+// (three FBSs, nine users), the multi-cell analogue of Figure3.
+func Figure5(p ExperimentParams) (*Figure, error) { return experiments.Fig5(p) }
+
 // Figure6a regenerates Fig. 6(a) (interfering FBSs, quality vs utilization,
 // with the eq. (23) upper bound).
 func Figure6a(p ExperimentParams) (*Figure, error) { return experiments.Fig6a(p) }

@@ -3,11 +3,18 @@
 //
 // After fusing the slot's sensing results into per-channel availability
 // posteriors P_A, each licensed channel is accessed (decision variable
-// D_m = 0) with probability P_D = min(gamma / (1 - P_A), 1), the largest
-// access probability that keeps the collision probability with primary
-// users below the threshold gamma (eqs. (6)-(7)). The set of accessed
-// channels is A(t), and G_t = sum over A(t) of P_A is the expected number of
-// truly available channels used by the resource-allocation problem.
+// D_m = 0) with probability P_D = min(gamma * eta_m / (1 - P_A), 1), where
+// eta_m is the channel's prior busy probability. This is the largest access
+// probability that keeps the collision probability with primary users,
+// conditioned on the channel actually being busy, below the threshold gamma
+// (eqs. (6)-(7)): by Bayes' rule
+//
+//	Pr[D_m = 0 | busy] = E[P_D * Pr(busy | obs)] / Pr(busy)
+//	                   = E[(1 - P_A) * P_D] / eta_m <= gamma.
+//
+// The set of accessed channels is A(t), and G_t = sum over A(t) of P_A is
+// the expected number of truly available channels used by the
+// resource-allocation problem.
 package access
 
 import (
@@ -27,8 +34,8 @@ type Policy struct {
 	gamma float64
 }
 
-// NewPolicy builds a Policy with the maximum allowable collision probability
-// gamma (per channel, per slot).
+// NewPolicy builds a Policy with the maximum allowable conditional collision
+// probability gamma (per channel, given the channel is busy).
 func NewPolicy(gamma float64) (Policy, error) {
 	if gamma < 0 || gamma > 1 || math.IsNaN(gamma) {
 		return Policy{}, fmt.Errorf("%w: gamma=%v", ErrBadGamma, gamma)
@@ -39,20 +46,27 @@ func NewPolicy(gamma float64) (Policy, error) {
 // Gamma returns the collision threshold.
 func (p Policy) Gamma() float64 { return p.gamma }
 
-// AccessProbability returns P_D of eq. (7) for a channel with availability
-// posterior pa: the probability the channel is declared idle and accessed.
-func (p Policy) AccessProbability(pa float64) float64 {
+// AccessProbability returns P_D of eq. (7) for a channel with prior busy
+// probability priorBusy (the channel's utilization eta_m, or the belief
+// filter's predictive prior) and fused availability posterior pa: the
+// probability the channel is declared idle and accessed. The per-decision
+// collision budget is gamma * priorBusy, so that averaging over sensing
+// outcomes bounds the conditional collision probability
+// Pr[access | busy] at gamma.
+func (p Policy) AccessProbability(priorBusy, pa float64) float64 {
 	busy := 1 - pa
-	if busy <= p.gamma {
+	budget := p.gamma * priorBusy
+	if busy <= budget {
 		// Even if the channel turns out busy, colliding is within budget.
 		return 1
 	}
-	return p.gamma / busy
+	return budget / busy
 }
 
 // ChannelDecision records the access outcome for one licensed channel.
 type ChannelDecision struct {
 	Channel    int     // 1-based licensed channel index
+	Prior      float64 // prior busy probability eta_m used by the rule
 	Posterior  float64 // fused availability P_A
 	AccessProb float64 // P_D of eq. (7)
 	Accessed   bool    // D_m = 0 in the paper's encoding
@@ -64,13 +78,19 @@ type SlotDecision struct {
 }
 
 // Decide draws the access decision D_m for every licensed channel given the
-// fused posteriors (posteriors[m-1] = P_A of channel m).
-func (p Policy) Decide(posteriors []float64, s *rng.Stream) SlotDecision {
+// per-channel prior busy probabilities (priors[m-1] = eta of channel m) and
+// the fused posteriors (posteriors[m-1] = P_A of channel m).
+func (p Policy) Decide(priors, posteriors []float64, s *rng.Stream) SlotDecision {
 	out := SlotDecision{Channels: make([]ChannelDecision, len(posteriors))}
 	for i, pa := range posteriors {
-		pd := p.AccessProbability(pa)
+		prior := 1.0
+		if i < len(priors) {
+			prior = priors[i]
+		}
+		pd := p.AccessProbability(prior, pa)
 		out.Channels[i] = ChannelDecision{
 			Channel:    i + 1,
+			Prior:      prior,
 			Posterior:  pa,
 			AccessProb: pd,
 			Accessed:   s.Bernoulli(pd),
@@ -114,12 +134,17 @@ func (d SlotDecision) NumAccessed() int {
 }
 
 // CollisionBound returns the largest per-channel conditional collision
-// probability (1 - P_A) * P_D of this slot, the left-hand side of eq. (6).
-// A correct policy keeps it at or below gamma.
+// probability (1 - P_A) * P_D / eta_m of this slot, the left-hand side of
+// eq. (6) after conditioning on a busy channel. A correct policy keeps it
+// at or below gamma. Channels with a zero prior (never busy) contribute
+// nothing: they cannot collide.
 func (d SlotDecision) CollisionBound() float64 {
 	worst := 0.0
 	for _, c := range d.Channels {
-		if v := (1 - c.Posterior) * c.AccessProb; v > worst {
+		if c.Prior <= 0 {
+			continue
+		}
+		if v := (1 - c.Posterior) * c.AccessProb / c.Prior; v > worst {
 			worst = v
 		}
 	}
@@ -162,9 +187,17 @@ func (c *CollisionTracker) Record(d SlotDecision, truth spectrum.Occupancy) {
 // Slots returns the number of recorded slots.
 func (c *CollisionTracker) Slots() int { return c.slots }
 
+// BusySlots returns the number of recorded slots in which channel m
+// (1-based) was truly occupied by a primary user.
+func (c *CollisionTracker) BusySlots(m int) int { return c.busySlots[m-1] }
+
 // Rate returns the per-slot collision probability of channel m (1-based):
-// the fraction of all slots in which the CR network transmitted on channel m
-// while a primary user occupied it. This is the quantity bounded by gamma.
+// the fraction of ALL slots in which the CR network transmitted on channel m
+// while a primary user occupied it. This is a diagnostic, NOT the quantity
+// bounded by gamma: eq. (6) conditions on the channel being busy, so the
+// per-slot ratio understates the checked quantity by the channel's
+// utilization eta (Rate ≈ eta * ConditionalRate). Use ConditionalRate for
+// the primary-user-protection check.
 func (c *CollisionTracker) Rate(m int) float64 {
 	if c.slots == 0 {
 		return 0
@@ -172,11 +205,36 @@ func (c *CollisionTracker) Rate(m int) float64 {
 	return float64(c.collisions[m-1]) / float64(c.slots)
 }
 
-// MaxRate returns the largest per-channel collision rate.
+// MaxRate returns the largest per-channel per-slot collision rate (see
+// Rate for why this is a diagnostic rather than the eq. (6) check).
 func (c *CollisionTracker) MaxRate() float64 {
 	worst := 0.0
 	for m := 1; m <= len(c.collisions); m++ {
 		if r := c.Rate(m); r > worst {
+			worst = r
+		}
+	}
+	return worst
+}
+
+// ConditionalRate returns the conditional collision probability of channel m
+// (1-based): the fraction of truly-busy slots in which the CR network
+// nevertheless transmitted on channel m. This is the quantity eq. (6)
+// bounds by gamma. A channel that was never busy has no collision exposure
+// and reports 0.
+func (c *CollisionTracker) ConditionalRate(m int) float64 {
+	if c.busySlots[m-1] == 0 {
+		return 0
+	}
+	return float64(c.collisions[m-1]) / float64(c.busySlots[m-1])
+}
+
+// MaxConditionalRate returns the largest per-channel conditional collision
+// rate, the realized left-hand side of eq. (6).
+func (c *CollisionTracker) MaxConditionalRate() float64 {
+	worst := 0.0
+	for m := 1; m <= len(c.collisions); m++ {
+		if r := c.ConditionalRate(m); r > worst {
 			worst = r
 		}
 	}

@@ -7,20 +7,24 @@ import (
 )
 
 // The opportunistic access rule of eq. (7): the access probability is the
-// largest value that keeps the expected collision with primary users at or
-// below gamma (eq. 6).
+// largest value that keeps the collision probability with primary users,
+// conditioned on the channel being busy, at or below gamma (eq. 6). With
+// utilization eta = 0.6 the per-slot collision budget is gamma*eta = 0.12,
+// so the conditional collision probability (1-P_A)*P_D/eta stays at 0.2.
 func ExamplePolicy_AccessProbability() {
 	policy, err := access.NewPolicy(0.2)
 	if err != nil {
 		panic(err)
 	}
-	for _, pa := range []float64{0.9, 0.8, 0.5, 0.0} {
-		pd := policy.AccessProbability(pa)
-		fmt.Printf("P_A=%.1f -> P_D=%.2f (collision %.2f)\n", pa, pd, (1-pa)*pd)
+	const eta = 0.6
+	for _, pa := range []float64{0.95, 0.88, 0.5, 0.0} {
+		pd := policy.AccessProbability(eta, pa)
+		fmt.Printf("P_A=%.2f -> P_D=%.2f (conditional collision %.2f)\n",
+			pa, pd, (1-pa)*pd/eta)
 	}
 	// Output:
-	// P_A=0.9 -> P_D=1.00 (collision 0.10)
-	// P_A=0.8 -> P_D=1.00 (collision 0.20)
-	// P_A=0.5 -> P_D=0.40 (collision 0.20)
-	// P_A=0.0 -> P_D=0.20 (collision 0.20)
+	// P_A=0.95 -> P_D=1.00 (conditional collision 0.08)
+	// P_A=0.88 -> P_D=1.00 (conditional collision 0.20)
+	// P_A=0.50 -> P_D=0.24 (conditional collision 0.20)
+	// P_A=0.00 -> P_D=0.12 (conditional collision 0.20)
 }

@@ -32,37 +32,48 @@ func AblationBelief(p Params) (*stats.Figure, error) {
 	fig.Add(stationary)
 	fig.Add(filtered)
 
-	for _, factor := range []float64{0.125, 0.25, 0.5, 1.0} {
+	factors := []float64{0.125, 0.25, 0.5, 1.0}
+	nets := make([]*netmodel.Network, len(factors))
+	for i, factor := range factors {
 		cfg := p.Config
 		cfg.P01 *= factor
 		cfg.P10 *= factor
-		net, err := netmodel.PaperSingleFBS(cfg)
+		var err error
+		if nets[i], err = netmodel.PaperSingleFBS(cfg); err != nil {
+			return nil, err
+		}
+	}
+	perFactor := 2 * p.Runs // stationary runs, then belief-filter runs
+	slots := make([]float64, len(factors)*perFactor)
+	err = runGrid(len(slots), p.workers(), func(i int) error {
+		fi := i / perFactor
+		track := (i%perFactor)/p.Runs == 1
+		r := i % p.Runs
+		res, err := sim.Run(nets[fi], sim.Options{
+			Seed:         p.BaseSeed + uint64(r),
+			GOPs:         p.GOPs,
+			TrackBeliefs: track,
+		})
+		if err != nil {
+			return fmt.Errorf("factor=%v beliefs=%v run %d: %w", factors[fi], track, r, err)
+		}
+		slots[i] = res.MeanPSNR
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for fi, factor := range factors {
+		base := fi * perFactor
+		s, err := mergeSummary(slots[base : base+p.Runs])
 		if err != nil {
 			return nil, err
 		}
-		for _, track := range []bool{false, true} {
-			vals := make([]float64, 0, p.Runs)
-			for r := 0; r < p.Runs; r++ {
-				res, err := sim.Run(net, sim.Options{
-					Seed:         p.BaseSeed + uint64(r),
-					GOPs:         p.GOPs,
-					TrackBeliefs: track,
-				})
-				if err != nil {
-					return nil, err
-				}
-				vals = append(vals, res.MeanPSNR)
-			}
-			s, err := stats.Summarize(vals)
-			if err != nil {
-				return nil, err
-			}
-			if track {
-				filtered.Append(factor, s)
-			} else {
-				stationary.Append(factor, s)
-			}
+		stationary.Append(factor, s)
+		if s, err = mergeSummary(slots[base+p.Runs : base+perFactor]); err != nil {
+			return nil, err
 		}
+		filtered.Append(factor, s)
 	}
 	return fig, nil
 }
@@ -82,22 +93,29 @@ func AblationSensorPolicy(p Params) (*stats.Figure, error) {
 		"Policy (1=round-robin, 2=random, 3=stratified)", "Y-PSNR (dB)")
 	series := stats.NewSeries("Proposed")
 	fig.Add(series)
-	for _, pol := range []sensing.AssignmentPolicy{
+	policies := []sensing.AssignmentPolicy{
 		sensing.RoundRobin, sensing.RandomAssign, sensing.Stratified,
-	} {
-		vals := make([]float64, 0, p.Runs)
-		for r := 0; r < p.Runs; r++ {
-			res, err := sim.Run(net, sim.Options{
-				Seed:         p.BaseSeed + uint64(r),
-				GOPs:         p.GOPs,
-				SensorPolicy: pol,
-			})
-			if err != nil {
-				return nil, err
-			}
-			vals = append(vals, res.MeanPSNR)
+	}
+	slots := make([]float64, len(policies)*p.Runs)
+	err = runGrid(len(slots), p.workers(), func(i int) error {
+		pol := policies[i/p.Runs]
+		r := i % p.Runs
+		res, err := sim.Run(net, sim.Options{
+			Seed:         p.BaseSeed + uint64(r),
+			GOPs:         p.GOPs,
+			SensorPolicy: pol,
+		})
+		if err != nil {
+			return fmt.Errorf("policy=%v run %d: %w", pol, r, err)
 		}
-		s, err := stats.Summarize(vals)
+		slots[i] = res.MeanPSNR
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for pi, pol := range policies {
+		s, err := mergeSummary(slots[pi*p.Runs : (pi+1)*p.Runs])
 		if err != nil {
 			return nil, err
 		}
@@ -128,21 +146,25 @@ func AblationSolver(p Params) (*SolverComparison, error) {
 	}
 	out := &SolverComparison{}
 	for _, useDual := range []bool{false, true} {
-		vals := make([]float64, 0, p.Runs)
+		vals := make([]float64, p.Runs)
 		start := time.Now()
-		for r := 0; r < p.Runs; r++ {
+		err = runGrid(p.Runs, p.workers(), func(r int) error {
 			res, err := sim.Run(net, sim.Options{
 				Seed:          p.BaseSeed + uint64(r),
 				GOPs:          p.GOPs,
 				UseDualSolver: useDual,
 			})
 			if err != nil {
-				return nil, err
+				return fmt.Errorf("dual=%v run %d: %w", useDual, r, err)
 			}
-			vals = append(vals, res.MeanPSNR)
+			vals[r] = res.MeanPSNR
+			return nil
+		})
+		if err != nil {
+			return nil, err
 		}
 		elapsed := time.Since(start)
-		s, err := stats.Summarize(vals)
+		s, err := mergeSummary(vals)
 		if err != nil {
 			return nil, err
 		}

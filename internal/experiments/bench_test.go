@@ -1,0 +1,45 @@
+package experiments
+
+import (
+	"fmt"
+	"testing"
+)
+
+// BenchmarkFig5Quick measures the replication engine on the heaviest
+// per-user figure (three interfering FBSs, nine users) at quick scale,
+// sequential versus parallel. scripts/bench_parallel.sh turns the two
+// sub-benchmarks into BENCH_parallel.json; on a multi-core machine the
+// workers=4 case should run at least twice as fast as workers=1. The
+// outputs are bitwise-identical either way — only the schedule differs.
+func BenchmarkFig5Quick(b *testing.B) {
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			p := QuickParams()
+			p.Workers = workers
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := Fig5(p); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkGammaTradeoffQuick covers the widest grid (5 gamma points x
+// schemes x runs), where the flattened index layout has the most slots to
+// keep the pool busy.
+func BenchmarkGammaTradeoffQuick(b *testing.B) {
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			p := QuickParams()
+			p.Workers = workers
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := GammaTradeoff(p); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

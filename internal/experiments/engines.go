@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"fmt"
+
 	"femtocr/internal/netmodel"
 	"femtocr/internal/packetsim"
 	"femtocr/internal/sim"
@@ -28,26 +30,39 @@ func EngineComparison(p Params) (*stats.Figure, error) {
 	fig.Add(rate)
 	fig.Add(pkt)
 
-	for _, sch := range schemes() {
-		var rateVals, pktVals []float64
-		for r := 0; r < p.Runs; r++ {
-			seed := p.BaseSeed + uint64(r)
-			rr, err := sim.Run(net, sim.Options{Seed: seed, GOPs: p.GOPs, Scheme: sch})
-			if err != nil {
-				return nil, err
-			}
-			pr, err := packetsim.Run(net, packetsim.Options{Seed: seed, GOPs: p.GOPs, Scheme: sch})
-			if err != nil {
-				return nil, err
-			}
-			rateVals = append(rateVals, rr.MeanPSNR)
-			pktVals = append(pktVals, pr.MeanPSNR)
+	schs := schemes()
+	type cell struct{ rate, pkt float64 }
+	slots := make([]cell, len(schs)*p.Runs)
+	err = runGrid(len(slots), p.workers(), func(i int) error {
+		sch := schs[i/p.Runs]
+		r := i % p.Runs
+		seed := p.BaseSeed + uint64(r)
+		rr, err := sim.Run(net, sim.Options{Seed: seed, GOPs: p.GOPs, Scheme: sch})
+		if err != nil {
+			return fmt.Errorf("rate engine scheme=%v run %d: %w", sch, r, err)
 		}
-		rs, err := stats.Summarize(rateVals)
+		pr, err := packetsim.Run(net, packetsim.Options{Seed: seed, GOPs: p.GOPs, Scheme: sch})
+		if err != nil {
+			return fmt.Errorf("packet engine scheme=%v run %d: %w", sch, r, err)
+		}
+		slots[i] = cell{rate: rr.MeanPSNR, pkt: pr.MeanPSNR}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	rateVals := make([]float64, p.Runs)
+	pktVals := make([]float64, p.Runs)
+	for si, sch := range schs {
+		for r := 0; r < p.Runs; r++ {
+			rateVals[r] = slots[si*p.Runs+r].rate
+			pktVals[r] = slots[si*p.Runs+r].pkt
+		}
+		rs, err := mergeSummary(rateVals)
 		if err != nil {
 			return nil, err
 		}
-		ps, err := stats.Summarize(pktVals)
+		ps, err := mergeSummary(pktVals)
 		if err != nil {
 			return nil, err
 		}

@@ -26,6 +26,11 @@ type Params struct {
 	GOPs int
 	// BaseSeed: replication r of point p uses seed BaseSeed + r.
 	BaseSeed uint64
+	// Workers caps the number of concurrent simulation runs; 0 (or any
+	// non-positive value) uses runtime.GOMAXPROCS(0). Every run derives all
+	// randomness from its own seed, so results are bitwise-identical for
+	// any worker count.
+	Workers int
 	// Config is the scenario configuration; zero value means the paper's
 	// defaults.
 	Config netmodel.Config
@@ -69,32 +74,37 @@ func schemes() []sim.Scheme {
 	return []sim.Scheme{sim.Proposed, sim.Heuristic1, sim.Heuristic2}
 }
 
-// replicate runs one (network, scheme) point across p.Runs seeds and
-// summarizes the mean PSNR, and the bound PSNR when tracked.
+// replicate runs one (network, scheme) point across p.Runs seeds over the
+// worker pool and summarizes the mean PSNR, and the bound PSNR when tracked.
 func replicate(p Params, net *netmodel.Network, scheme sim.Scheme, trackBound bool) (mean, bound stats.Summary, err error) {
-	psnrs := make([]float64, 0, p.Runs)
-	bounds := make([]float64, 0, p.Runs)
-	for r := 0; r < p.Runs; r++ {
+	track := trackBound && scheme == sim.Proposed
+	psnrs := make([]float64, p.Runs)
+	bounds := make([]float64, p.Runs)
+	err = runGrid(p.Runs, p.workers(), func(r int) error {
 		res, err := sim.Run(net, sim.Options{
 			Seed:       p.BaseSeed + uint64(r),
 			GOPs:       p.GOPs,
 			Scheme:     scheme,
-			TrackBound: trackBound && scheme == sim.Proposed,
+			TrackBound: track,
 		})
 		if err != nil {
-			return stats.Summary{}, stats.Summary{}, err
+			return fmt.Errorf("scheme=%v run %d: %w", scheme, r, err)
 		}
-		psnrs = append(psnrs, res.MeanPSNR)
-		if trackBound && scheme == sim.Proposed {
-			bounds = append(bounds, res.BoundPSNR)
+		psnrs[r] = res.MeanPSNR
+		if track {
+			bounds[r] = res.BoundPSNR
 		}
-	}
-	mean, err = stats.Summarize(psnrs)
+		return nil
+	})
 	if err != nil {
 		return stats.Summary{}, stats.Summary{}, err
 	}
-	if len(bounds) > 0 {
-		bound, err = stats.Summarize(bounds)
+	mean, err = mergeSummary(psnrs)
+	if err != nil {
+		return stats.Summary{}, stats.Summary{}, err
+	}
+	if track {
+		bound, err = mergeSummary(bounds)
 		if err != nil {
 			return stats.Summary{}, stats.Summary{}, err
 		}
@@ -103,7 +113,9 @@ func replicate(p Params, net *netmodel.Network, scheme sim.Scheme, trackBound bo
 }
 
 // sweep evaluates all schemes over a parameter sweep, building one curve per
-// scheme plus an optional "Upper bound" curve.
+// scheme plus an optional "Upper bound" curve. The whole
+// (sweep point, scheme, run) grid fans out over the worker pool at once, so
+// a slow point does not serialize the rest of the sweep.
 func sweep(p Params, title, xLabel string, xs []float64,
 	build func(p Params, x float64) (*netmodel.Network, error), trackBound bool) (*stats.Figure, error) {
 	p, err := p.normalize()
@@ -116,23 +128,63 @@ func sweep(p Params, title, xLabel string, xs []float64,
 		boundSeries = stats.NewSeries("Upper bound")
 		fig.Add(boundSeries)
 	}
+	schs := schemes()
 	curves := make(map[sim.Scheme]*stats.Series)
-	for _, sch := range schemes() {
+	for _, sch := range schs {
 		curves[sch] = stats.NewSeries(sch.String())
 		fig.Add(curves[sch])
 	}
-	for _, x := range xs {
-		net, err := build(p, x)
-		if err != nil {
+	nets := make([]*netmodel.Network, len(xs))
+	for i, x := range xs {
+		if nets[i], err = build(p, x); err != nil {
 			return nil, fmt.Errorf("x=%v: %w", x, err)
 		}
-		for _, sch := range schemes() {
-			mean, bound, err := replicate(p, net, sch, trackBound)
+	}
+	type cell struct{ psnr, bound float64 }
+	perScheme := p.Runs
+	perPoint := len(schs) * perScheme
+	slots := make([]cell, len(xs)*perPoint)
+	err = runGrid(len(slots), p.workers(), func(i int) error {
+		xi := i / perPoint
+		si := (i % perPoint) / perScheme
+		r := i % perScheme
+		sch := schs[si]
+		track := trackBound && sch == sim.Proposed
+		res, err := sim.Run(nets[xi], sim.Options{
+			Seed:       p.BaseSeed + uint64(r),
+			GOPs:       p.GOPs,
+			Scheme:     sch,
+			TrackBound: track,
+		})
+		if err != nil {
+			return fmt.Errorf("x=%v scheme=%v run %d: %w", xs[xi], sch, r, err)
+		}
+		slots[i] = cell{psnr: res.MeanPSNR, bound: res.BoundPSNR}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	scratch := make([]float64, perScheme)
+	for xi, x := range xs {
+		for si, sch := range schs {
+			base := xi*perPoint + si*perScheme
+			for r := 0; r < perScheme; r++ {
+				scratch[r] = slots[base+r].psnr
+			}
+			mean, err := mergeSummary(scratch)
 			if err != nil {
-				return nil, fmt.Errorf("x=%v scheme=%v: %w", x, sch, err)
+				return nil, err
 			}
 			curves[sch].Append(x, mean)
 			if trackBound && sch == sim.Proposed {
+				for r := 0; r < perScheme; r++ {
+					scratch[r] = slots[base+r].bound
+				}
+				bound, err := mergeSummary(scratch)
+				if err != nil {
+					return nil, err
+				}
 				boundSeries.Append(x, bound)
 			}
 		}

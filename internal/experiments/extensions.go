@@ -29,28 +29,42 @@ func GammaTradeoff(p Params) (*stats.Figure, error) {
 	coll := stats.NewSeries("Realized collision rate")
 	fig.Add(psnr)
 	fig.Add(coll)
-	for _, gamma := range []float64{0.05, 0.1, 0.2, 0.3, 0.4} {
+	gammas := []float64{0.05, 0.1, 0.2, 0.3, 0.4}
+	nets := make([]*netmodel.Network, len(gammas))
+	for i, gamma := range gammas {
 		cfg := p.Config
 		cfg.Gamma = gamma
-		net, err := netmodel.PaperSingleFBS(cfg)
-		if err != nil {
+		var err error
+		if nets[i], err = netmodel.PaperSingleFBS(cfg); err != nil {
 			return nil, err
 		}
-		quals := make([]float64, 0, p.Runs)
-		colls := make([]float64, 0, p.Runs)
+	}
+	type cell struct{ psnr, coll float64 }
+	slots := make([]cell, len(gammas)*p.Runs)
+	err = runGrid(len(slots), p.workers(), func(i int) error {
+		gi, r := i/p.Runs, i%p.Runs
+		res, err := sim.Run(nets[gi], sim.Options{Seed: p.BaseSeed + uint64(r), GOPs: p.GOPs})
+		if err != nil {
+			return fmt.Errorf("gamma=%v run %d: %w", gammas[gi], r, err)
+		}
+		slots[i] = cell{psnr: res.MeanPSNR, coll: res.CollisionRate}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	quals := make([]float64, p.Runs)
+	colls := make([]float64, p.Runs)
+	for gi, gamma := range gammas {
 		for r := 0; r < p.Runs; r++ {
-			res, err := sim.Run(net, sim.Options{Seed: p.BaseSeed + uint64(r), GOPs: p.GOPs})
-			if err != nil {
-				return nil, err
-			}
-			quals = append(quals, res.MeanPSNR)
-			colls = append(colls, res.CollisionRate)
+			quals[r] = slots[gi*p.Runs+r].psnr
+			colls[r] = slots[gi*p.Runs+r].coll
 		}
-		qs, err := stats.Summarize(quals)
+		qs, err := mergeSummary(quals)
 		if err != nil {
 			return nil, err
 		}
-		cs, err := stats.Summarize(colls)
+		cs, err := mergeSummary(colls)
 		if err != nil {
 			return nil, err
 		}
@@ -99,44 +113,56 @@ func Scalability(p Params, sizes []int) ([]ScalePoint, error) {
 		}
 		pt := ScalePoint{NumFBS: n, Users: net.K()}
 
-		var prop, h1, h2, bound []float64
+		prop := make([]float64, p.Runs)
+		bound := make([]float64, p.Runs)
+		h1 := make([]float64, p.Runs)
+		h2 := make([]float64, p.Runs)
 		start := time.Now()
-		for r := 0; r < p.Runs; r++ {
+		err = runGrid(p.Runs, p.workers(), func(r int) error {
 			res, err := sim.Run(net, sim.Options{
 				Seed:       p.BaseSeed + uint64(r),
 				GOPs:       p.GOPs,
 				TrackBound: true,
 			})
 			if err != nil {
-				return nil, err
+				return fmt.Errorf("N=%d run %d: %w", n, r, err)
 			}
-			prop = append(prop, res.MeanPSNR)
-			bound = append(bound, res.BoundPSNR)
+			prop[r] = res.MeanPSNR
+			bound[r] = res.BoundPSNR
+			return nil
+		})
+		if err != nil {
+			return nil, err
 		}
 		pt.Elapsed = time.Since(start)
-		for r := 0; r < p.Runs; r++ {
+		err = runGrid(2*p.Runs, p.workers(), func(i int) error {
+			sch, r := sim.Heuristic1, i
+			if i >= p.Runs {
+				sch, r = sim.Heuristic2, i-p.Runs
+			}
 			res, err := sim.Run(net, sim.Options{
-				Seed: p.BaseSeed + uint64(r), GOPs: p.GOPs, Scheme: sim.Heuristic1,
+				Seed: p.BaseSeed + uint64(r), GOPs: p.GOPs, Scheme: sch,
 			})
 			if err != nil {
-				return nil, err
+				return fmt.Errorf("N=%d scheme=%v run %d: %w", n, sch, r, err)
 			}
-			h1 = append(h1, res.MeanPSNR)
-			res, err = sim.Run(net, sim.Options{
-				Seed: p.BaseSeed + uint64(r), GOPs: p.GOPs, Scheme: sim.Heuristic2,
-			})
-			if err != nil {
-				return nil, err
+			if sch == sim.Heuristic1 {
+				h1[r] = res.MeanPSNR
+			} else {
+				h2[r] = res.MeanPSNR
 			}
-			h2 = append(h2, res.MeanPSNR)
-		}
-		if pt.Proposed, err = stats.Summarize(prop); err != nil {
+			return nil
+		})
+		if err != nil {
 			return nil, err
 		}
-		if pt.H1, err = stats.Summarize(h1); err != nil {
+		if pt.Proposed, err = mergeSummary(prop); err != nil {
 			return nil, err
 		}
-		if pt.H2, err = stats.Summarize(h2); err != nil {
+		if pt.H1, err = mergeSummary(h1); err != nil {
+			return nil, err
+		}
+		if pt.H2, err = mergeSummary(h2); err != nil {
 			return nil, err
 		}
 		pt.BoundGapDB = stats.MeanOf(bound) - pt.Proposed.Mean
@@ -160,22 +186,31 @@ func DeadlineSweep(p Params) (*stats.Figure, error) {
 		"Slots per GOP deadline (T)", "Y-PSNR (dB)")
 	series := stats.NewSeries("Proposed")
 	fig.Add(series)
-	for _, tSlots := range []int{2, 5, 10, 20} {
+	deadlines := []int{2, 5, 10, 20}
+	nets := make([]*netmodel.Network, len(deadlines))
+	for i, tSlots := range deadlines {
 		cfg := p.Config
 		cfg.T = tSlots
-		net, err := netmodel.PaperSingleFBS(cfg)
-		if err != nil {
+		var err error
+		if nets[i], err = netmodel.PaperSingleFBS(cfg); err != nil {
 			return nil, err
 		}
-		vals := make([]float64, 0, p.Runs)
-		for r := 0; r < p.Runs; r++ {
-			res, err := sim.Run(net, sim.Options{Seed: p.BaseSeed + uint64(r), GOPs: p.GOPs})
-			if err != nil {
-				return nil, err
-			}
-			vals = append(vals, res.MeanPSNR)
+	}
+	slots := make([]float64, len(deadlines)*p.Runs)
+	err = runGrid(len(slots), p.workers(), func(i int) error {
+		ti, r := i/p.Runs, i%p.Runs
+		res, err := sim.Run(nets[ti], sim.Options{Seed: p.BaseSeed + uint64(r), GOPs: p.GOPs})
+		if err != nil {
+			return fmt.Errorf("T=%d run %d: %w", deadlines[ti], r, err)
 		}
-		s, err := stats.Summarize(vals)
+		slots[i] = res.MeanPSNR
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for ti, tSlots := range deadlines {
+		s, err := mergeSummary(slots[ti*p.Runs : (ti+1)*p.Runs])
 		if err != nil {
 			return nil, err
 		}
@@ -204,7 +239,8 @@ func UserCapacity(p Params, sizes []int) (*stats.Figure, error) {
 	worst := stats.NewSeries("Proposed worst user")
 	fig.Add(mean)
 	fig.Add(worst)
-	for _, k := range sizes {
+	nets := make([]*netmodel.Network, len(sizes))
+	for i, k := range sizes {
 		if k < 1 {
 			return nil, fmt.Errorf("%w: K=%d", ErrBadParams, k)
 		}
@@ -212,24 +248,37 @@ func UserCapacity(p Params, sizes []int) (*stats.Figure, error) {
 		for j := range videos {
 			videos[j] = presets[j%len(presets)]
 		}
-		net, err := netmodel.SingleFBS(p.Config, videos)
-		if err != nil {
+		var err error
+		if nets[i], err = netmodel.SingleFBS(p.Config, videos); err != nil {
 			return nil, err
 		}
-		var means, worsts []float64
+	}
+	type cell struct{ mean, worst float64 }
+	slots := make([]cell, len(sizes)*p.Runs)
+	err = runGrid(len(slots), p.workers(), func(i int) error {
+		ki, r := i/p.Runs, i%p.Runs
+		res, err := sim.Run(nets[ki], sim.Options{Seed: p.BaseSeed + uint64(r), GOPs: p.GOPs})
+		if err != nil {
+			return fmt.Errorf("K=%d run %d: %w", sizes[ki], r, err)
+		}
+		slots[i] = cell{mean: res.MeanPSNR, worst: res.MinUserPSNR}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	means := make([]float64, p.Runs)
+	worsts := make([]float64, p.Runs)
+	for ki, k := range sizes {
 		for r := 0; r < p.Runs; r++ {
-			res, err := sim.Run(net, sim.Options{Seed: p.BaseSeed + uint64(r), GOPs: p.GOPs})
-			if err != nil {
-				return nil, err
-			}
-			means = append(means, res.MeanPSNR)
-			worsts = append(worsts, res.MinUserPSNR)
+			means[r] = slots[ki*p.Runs+r].mean
+			worsts[r] = slots[ki*p.Runs+r].worst
 		}
-		ms, err := stats.Summarize(means)
+		ms, err := mergeSummary(means)
 		if err != nil {
 			return nil, err
 		}
-		ws, err := stats.Summarize(worsts)
+		ws, err := mergeSummary(worsts)
 		if err != nil {
 			return nil, err
 		}
@@ -260,23 +309,36 @@ func SchemeFrontier(p Params) (*stats.Figure, error) {
 	fair := stats.NewSeries("Jain fairness of gains")
 	fig.Add(mean)
 	fig.Add(fair)
-	for _, sch := range []sim.Scheme{
+	schs := []sim.Scheme{
 		sim.Proposed, sim.Heuristic1, sim.Heuristic2, sim.RoundRobin, sim.MaxThroughput,
-	} {
-		var ms, fs []float64
-		for r := 0; r < p.Runs; r++ {
-			res, err := sim.Run(net, sim.Options{Seed: p.BaseSeed + uint64(r), GOPs: p.GOPs, Scheme: sch})
-			if err != nil {
-				return nil, err
-			}
-			ms = append(ms, res.MeanPSNR)
-			fs = append(fs, res.FairnessIndex)
+	}
+	type cell struct{ psnr, fair float64 }
+	slots := make([]cell, len(schs)*p.Runs)
+	err = runGrid(len(slots), p.workers(), func(i int) error {
+		sch := schs[i/p.Runs]
+		r := i % p.Runs
+		res, err := sim.Run(net, sim.Options{Seed: p.BaseSeed + uint64(r), GOPs: p.GOPs, Scheme: sch})
+		if err != nil {
+			return fmt.Errorf("scheme=%v run %d: %w", sch, r, err)
 		}
-		msum, err := stats.Summarize(ms)
+		slots[i] = cell{psnr: res.MeanPSNR, fair: res.FairnessIndex}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	ms := make([]float64, p.Runs)
+	fs := make([]float64, p.Runs)
+	for si, sch := range schs {
+		for r := 0; r < p.Runs; r++ {
+			ms[r] = slots[si*p.Runs+r].psnr
+			fs[r] = slots[si*p.Runs+r].fair
+		}
+		msum, err := mergeSummary(ms)
 		if err != nil {
 			return nil, err
 		}
-		fsum, err := stats.Summarize(fs)
+		fsum, err := mergeSummary(fs)
 		if err != nil {
 			return nil, err
 		}

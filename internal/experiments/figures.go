@@ -12,33 +12,56 @@ import (
 // the single-FBS scenario (Bus, Mobile, Harbor), one bar group per user and
 // one curve per scheme. The x-axis is the user index (1..3).
 func Fig3(p Params) (*stats.Figure, error) {
+	return perUserFigure(p, "Fig. 3 — Single FBS: per-user video quality", netmodel.PaperSingleFBS)
+}
+
+// Fig5 reports the per-user video quality of the paper's §V-B interfering
+// deployment (the Fig. 5 path topology: three FBSs sharing the licensed
+// band, three users each) — the multi-cell analogue of Fig. 3. The x-axis
+// is the user index (1..9).
+func Fig5(p Params) (*stats.Figure, error) {
+	return perUserFigure(p, "Fig. 5 — Interfering FBSs: per-user video quality", netmodel.PaperInterfering)
+}
+
+// perUserFigure runs every (scheme, run) cell of a per-user quality figure
+// over the worker pool and summarizes each user's PSNR per scheme.
+func perUserFigure(p Params, title string, build func(netmodel.Config) (*netmodel.Network, error)) (*stats.Figure, error) {
 	p, err := p.normalize()
 	if err != nil {
 		return nil, err
 	}
-	net, err := netmodel.PaperSingleFBS(p.Config)
+	net, err := build(p.Config)
 	if err != nil {
 		return nil, err
 	}
-	fig := stats.NewFigure("Fig. 3 — Single FBS: per-user video quality", "User index", "Y-PSNR (dB)")
-	for _, sch := range schemes() {
-		series := stats.NewSeries(sch.String())
-		perUser := make([][]float64, net.K())
-		for r := 0; r < p.Runs; r++ {
-			res, err := sim.Run(net, sim.Options{
-				Seed:   p.BaseSeed + uint64(r),
-				GOPs:   p.GOPs,
-				Scheme: sch,
-			})
-			if err != nil {
-				return nil, err
-			}
-			for j, v := range res.PerUserPSNR {
-				perUser[j] = append(perUser[j], v)
-			}
+	fig := stats.NewFigure(title, "User index", "Y-PSNR (dB)")
+	schs := schemes()
+	slots := make([][]float64, len(schs)*p.Runs)
+	err = runGrid(len(slots), p.workers(), func(i int) error {
+		sch := schs[i/p.Runs]
+		r := i % p.Runs
+		res, err := sim.Run(net, sim.Options{
+			Seed:   p.BaseSeed + uint64(r),
+			GOPs:   p.GOPs,
+			Scheme: sch,
+		})
+		if err != nil {
+			return fmt.Errorf("scheme=%v run %d: %w", sch, r, err)
 		}
-		for j := range perUser {
-			s, err := stats.Summarize(perUser[j])
+		slots[i] = res.PerUserPSNR
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	scratch := make([]float64, p.Runs)
+	for si, sch := range schs {
+		series := stats.NewSeries(sch.String())
+		for j := 0; j < net.K(); j++ {
+			for r := 0; r < p.Runs; r++ {
+				scratch[r] = slots[si*p.Runs+r][j]
+			}
+			s, err := mergeSummary(scratch)
 			if err != nil {
 				return nil, err
 			}
@@ -193,7 +216,8 @@ func All(p Params) ([]Named, error) {
 		id  string
 		run func(Params) (*stats.Figure, error)
 	}{
-		{"fig4b", Fig4b}, {"fig4c", Fig4c}, {"fig6a", Fig6a}, {"fig6b", Fig6b}, {"fig6c", Fig6c},
+		{"fig4b", Fig4b}, {"fig4c", Fig4c}, {"fig5", Fig5},
+		{"fig6a", Fig6a}, {"fig6b", Fig6b}, {"fig6c", Fig6c},
 	} {
 		fig, err := f.run(p)
 		if err != nil {

@@ -1,0 +1,98 @@
+package experiments
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"femtocr/internal/stats"
+)
+
+// workers resolves the effective worker count for this experiment: the
+// explicit Params.Workers when positive, else one worker per available CPU.
+func (p Params) workers() int {
+	if p.Workers > 0 {
+		return p.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// runGrid executes n independent tasks over a pool of workers, calling
+// do(i) exactly once for every index not skipped by cancellation. Each task
+// must write its output into its own preallocated slot, so the results are
+// identical — bit for bit — for any worker count; only the wall-clock
+// schedule changes. On the first task error the remaining undispatched
+// tasks are cancelled, and the lowest-index recorded error is returned
+// (indices are dispatched in ascending order, so this is the error a
+// sequential loop would have hit first among those that ran).
+func runGrid(n, workers int, do func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := do(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var (
+		next atomic.Int64
+		stop atomic.Bool
+		wg   sync.WaitGroup
+	)
+	errs := make([]error, n)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n || stop.Load() {
+					return
+				}
+				if err := do(i); err != nil {
+					errs[i] = err
+					stop.Store(true)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RunGrid exposes the deterministic worker pool to callers outside the
+// package (the CLI replication loops). See runGrid for the contract: do(i)
+// must write only into task i's own preallocated slot, and all aggregation
+// must happen after RunGrid returns, in index order.
+func RunGrid(n, workers int, do func(i int) error) error {
+	return runGrid(n, workers, do)
+}
+
+// mergeSummary folds per-task observations into a Summary by merging
+// single-observation accumulators in task-index order. Because the fold
+// order is fixed by the slot layout — never by goroutine scheduling — the
+// result is bitwise-deterministic for any worker count.
+func mergeSummary(xs []float64) (stats.Summary, error) {
+	var acc stats.Running
+	for _, x := range xs {
+		var one stats.Running
+		one.Add(x)
+		acc.Merge(&one)
+	}
+	return acc.Summary()
+}

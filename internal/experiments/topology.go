@@ -38,8 +38,11 @@ type TopologyPoint struct {
 // draws user qualities, link reliabilities, and channel posteriors at the
 // paper's scales, with three users per femtocell and `channels` accessed
 // channels. Exhaustive enumeration costs O(I(G)^channels) solver calls,
-// where I(G) counts independent sets, so keep channels small.
-func TopologyStudy(seed uint64, instances, channels int) ([]TopologyPoint, error) {
+// where I(G) counts independent sets, so keep channels small. Trials fan
+// out over `workers` goroutines (non-positive: one per CPU); each trial's
+// stream is split from the family stream before dispatch, so results are
+// identical for any worker count.
+func TopologyStudy(seed uint64, instances, channels, workers int) ([]TopologyPoint, error) {
 	if instances < 1 || channels < 1 {
 		return nil, fmt.Errorf("%w: instances=%d channels=%d", ErrBadParams, instances, channels)
 	}
@@ -79,29 +82,45 @@ func TopologyStudy(seed uint64, instances, channels int) ([]TopologyPoint, error
 			Instances:       instances,
 		}
 		stream := root.Split("topology/" + fam.name)
-		for trial := 0; trial < instances; trial++ {
-			problem, err := randomChannelProblem(stream.SplitIndex("t", trial), n, channels)
+		// Split every trial's stream before fanning out: SplitIndex is a
+		// pure function of the parent seeds, but the parent stream itself
+		// is not concurrency-safe.
+		streams := make([]*rng.Stream, instances)
+		for trial := range streams {
+			streams[trial] = stream.SplitIndex("t", trial)
+		}
+		type cell struct{ ratio, boundRatio float64 }
+		slots := make([]cell, instances)
+		err := runGrid(instances, workers, func(trial int) error {
+			problem, err := randomChannelProblem(streams[trial], n, channels)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			problem.Graph = fam.graph
 			res, err := greedy.Allocate(problem)
 			if err != nil {
-				return nil, err
+				return fmt.Errorf("family=%q trial %d: %w", fam.name, trial, err)
 			}
 			opt, err := core.ExhaustiveChannelOptimum(problem, solver)
 			if err != nil {
-				return nil, err
+				return fmt.Errorf("family=%q trial %d: %w", fam.name, trial, err)
 			}
 			ratio := res.Value / opt
 			if ratio > 1 {
 				ratio = 1 // solver tolerance can put greedy a hair above
 			}
-			pt.MeanRatio += ratio
-			if ratio < pt.WorstRatio {
-				pt.WorstRatio = ratio
+			slots[trial] = cell{ratio: ratio, boundRatio: opt / res.UpperBound}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		for _, c := range slots {
+			pt.MeanRatio += c.ratio
+			if c.ratio < pt.WorstRatio {
+				pt.WorstRatio = c.ratio
 			}
-			pt.MeanBoundRatio += opt / res.UpperBound
+			pt.MeanBoundRatio += c.boundRatio
 		}
 		pt.MeanRatio /= float64(instances)
 		pt.MeanBoundRatio /= float64(instances)

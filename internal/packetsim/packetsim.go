@@ -87,7 +87,8 @@ type Result struct {
 	SentPackets int
 	// FairnessIndex is Jain's index over per-user quality gains.
 	FairnessIndex float64
-	// CollisionRate is the worst realized per-channel collision rate.
+	// CollisionRate is the worst realized per-channel conditional collision
+	// rate (collisions over truly-busy slots, the eq. (6) quantity).
 	CollisionRate float64
 	// GOPs is the number of completed GOPs per user.
 	GOPs int

@@ -99,6 +99,7 @@ func (f *Frontend) Step(slot int) (*SlotState, error) {
 	if f.beliefs != nil {
 		f.beliefs.Predict()
 	}
+	priors := make([]float64, m)
 	posteriors := make([]float64, m)
 	fusers := make([]*sensing.Fuser, m)
 	for ch := 1; ch <= m; ch++ {
@@ -124,6 +125,7 @@ func (f *Frontend) Step(slot int) (*SlotState, error) {
 				}
 			}
 		}
+		priors[ch-1] = prior
 		fu, err := sensing.NewFuser(prior)
 		if err != nil {
 			return nil, err
@@ -171,7 +173,7 @@ func (f *Frontend) Step(slot int) (*SlotState, error) {
 		}
 	}
 
-	decision := f.policy.Decide(posteriors, f.accessStream)
+	decision := f.policy.Decide(priors, posteriors, f.accessStream)
 	f.tracker.Record(decision, truth)
 	accessed := decision.Available()
 	accessedPA := make([]float64, len(accessed))
@@ -186,5 +188,7 @@ func (f *Frontend) Step(slot int) (*SlotState, error) {
 	}, nil
 }
 
-// CollisionRate returns the worst realized per-channel collision rate.
-func (f *Frontend) CollisionRate() float64 { return f.tracker.MaxRate() }
+// CollisionRate returns the worst realized per-channel conditional collision
+// rate — collisions divided by truly-busy slots, the quantity eq. (6) bounds
+// by gamma.
+func (f *Frontend) CollisionRate() float64 { return f.tracker.MaxConditionalRate() }

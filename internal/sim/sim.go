@@ -89,9 +89,11 @@ type Options struct {
 	// for every slot instead of the faster price-equilibrium solver. The
 	// two produce near-identical allocations; the default favors speed.
 	UseDualSolver bool
-	// LazyGreedy enables lazy gain re-evaluation in the greedy allocator.
-	// Identical results, fewer Q evaluations. Default true (set
-	// DisableLazyGreedy to force the literal Table III loop).
+	// DisableLazyGreedy forces the greedy allocator to re-evaluate every
+	// user's marginal gain on every iteration — the literal Table III loop.
+	// The zero value (lazy evaluation on) produces identical allocations
+	// with fewer Q evaluations; set this only to cross-check the lazy
+	// optimization or to time the unoptimized loop.
 	DisableLazyGreedy bool
 	// TrackBeliefs replaces the stationary fusion prior with the Bayesian
 	// occupancy filter (extension; see internal/belief).
@@ -138,8 +140,10 @@ type Result struct {
 	// (PSNR above the base layer): 1 is perfectly even, 1/K fully
 	// monopolized. This quantifies the paper's fairness claim for Fig. 3.
 	FairnessIndex float64
-	// CollisionRate is the worst per-channel primary-user collision rate
-	// observed, which the access rule must keep near or below gamma.
+	// CollisionRate is the worst per-channel conditional primary-user
+	// collision rate observed — collisions divided by truly-busy slots, the
+	// quantity eq. (6) bounds — which the access rule must keep near or
+	// below gamma.
 	CollisionRate float64
 	// MeanExpectedChannels averages G_t over slots (diagnostic).
 	MeanExpectedChannels float64

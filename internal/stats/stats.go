@@ -116,19 +116,26 @@ func (s Summary) Lo() float64 { return s.Mean - s.HalfWidth }
 // Hi returns the upper confidence bound.
 func (s Summary) Hi() float64 { return s.Mean + s.HalfWidth }
 
+// Summary converts the accumulated moments into a point estimate with a
+// 95% Student-t confidence half-width (zero below two observations), or
+// ErrNoData when nothing was accumulated.
+func (r *Running) Summary() (Summary, error) {
+	if r.n == 0 {
+		return Summary{}, ErrNoData
+	}
+	s := Summary{N: r.n, Mean: r.Mean(), StdDev: r.StdDev()}
+	if r.n >= 2 {
+		s.HalfWidth = tCritical95(r.n-1) * r.StdErr()
+	}
+	return s, nil
+}
+
 // Summarize computes the sample mean and 95% Student-t confidence half-width
 // of xs. With a single observation the half-width is zero.
 func Summarize(xs []float64) (Summary, error) {
-	if len(xs) == 0 {
-		return Summary{}, ErrNoData
-	}
 	var r Running
 	r.AddAll(xs)
-	s := Summary{N: r.N(), Mean: r.Mean(), StdDev: r.StdDev()}
-	if r.N() >= 2 {
-		s.HalfWidth = tCritical95(r.N()-1) * r.StdErr()
-	}
-	return s, nil
+	return r.Summary()
 }
 
 // MeanOf returns the arithmetic mean of xs, or 0 for an empty slice.

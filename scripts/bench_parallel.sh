@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# Benchmark the parallel replication engine and record the result as BENCH
+# JSON (format documented in EXPERIMENTS.md). Runs BenchmarkFig5Quick at
+# workers=1 and workers=4 and emits BENCH_parallel.json with ns/op for each
+# plus the sequential/parallel speedup ratio.
+#
+# The engine guarantees bitwise-identical output for any worker count, so
+# the speedup is pure schedule: on a single-core machine it sits at or
+# slightly below 1.0 (pool overhead), on a 4-core machine it should reach
+# at least 2x. CI uploads the JSON as an artifact on every run.
+#
+# Usage: scripts/bench_parallel.sh [output.json]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_parallel.json}"
+benchtime="${FEMTOCR_BENCHTIME:-5x}"
+
+raw=$(go test -run '^$' -bench 'BenchmarkFig5Quick' -benchtime "$benchtime" \
+    ./internal/experiments/)
+echo "$raw"
+
+echo "$raw" | awk -v out="$out" -v benchtime="$benchtime" '
+/^cpu:/ { sub(/^cpu: /, ""); cpu = $0 }
+/^goos:/ { goos = $2 }
+/^goarch:/ { goarch = $2 }
+$1 ~ /^BenchmarkFig5Quick\/workers=1/  { seq = $3; seq_iters = $2 }
+$1 ~ /^BenchmarkFig5Quick\/workers=4/  { par = $3; par_iters = $2 }
+END {
+    if (seq == "" || par == "") {
+        print "bench_parallel.sh: missing benchmark rows" > "/dev/stderr"
+        exit 1
+    }
+    printf "{\n" > out
+    printf "  \"benchmark\": \"BenchmarkFig5Quick\",\n" > out
+    printf "  \"package\": \"femtocr/internal/experiments\",\n" > out
+    printf "  \"goos\": \"%s\",\n", goos > out
+    printf "  \"goarch\": \"%s\",\n", goarch > out
+    printf "  \"cpu\": \"%s\",\n", cpu > out
+    printf "  \"benchtime\": \"%s\",\n", benchtime > out
+    printf "  \"results\": [\n" > out
+    printf "    {\"name\": \"workers=1\", \"iterations\": %d, \"ns_per_op\": %.0f},\n", seq_iters, seq > out
+    printf "    {\"name\": \"workers=4\", \"iterations\": %d, \"ns_per_op\": %.0f}\n", par_iters, par > out
+    printf "  ],\n" > out
+    printf "  \"speedup_workers4_over_workers1\": %.3f\n", seq / par > out
+    printf "}\n" > out
+}
+'
+echo "wrote $out"

@@ -9,7 +9,11 @@
 #                     RNG provenance, index domains, probability ranges,
 #                     float comparisons, dropped errors), built once and run
 #                     against the checked-in baseline
-#   5. go test -race — all tests under the race detector
+#   5. determinism  — the parallel-replication regression: figures must be
+#                     byte-identical for workers=1, 4, and GOMAXPROCS, run
+#                     under the race detector (named explicitly so a test
+#                     rename can't silently drop the gate)
+#   6. go test -race — all tests under the race detector
 #
 # Opt-in extras:
 #   FEMTOCR_FUZZ=1  — also run short fuzz smoke passes (-fuzztime=10s) over
@@ -36,6 +40,10 @@ tmp=$(mktemp -d)
 trap 'rm -rf "$tmp"' EXIT
 go build -o "$tmp/femtovet" ./cmd/femtovet
 "$tmp/femtovet" -baseline femtovet.baseline.json ./...
+
+echo "==> parallel determinism (workers=1/4/GOMAXPROCS, byte-identical figures)"
+go test -race -run '^(TestParallelDeterminism|TestTopologyStudyDeterminism)$' \
+    -count=1 ./internal/experiments
 
 echo "==> go test -race"
 go test -race ./...
