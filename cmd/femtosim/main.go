@@ -19,6 +19,7 @@ import (
 	"femtocr/internal/experiments"
 	"femtocr/internal/netmodel"
 	"femtocr/internal/packetsim"
+	"femtocr/internal/profiling"
 	"femtocr/internal/safeio"
 	"femtocr/internal/sim"
 	"femtocr/internal/stats"
@@ -33,7 +34,7 @@ func main() {
 	}
 }
 
-func run(args []string, w io.Writer) error {
+func run(args []string, w io.Writer) (retErr error) {
 	// All report output funnels through a sticky-error writer: fmt.Fprintf
 	// errors are recorded once and surfaced at the end instead of being
 	// checked (or dropped) at every call site.
@@ -63,10 +64,21 @@ func run(args []string, w io.Writer) error {
 		showTrace = fs.Bool("trace", false, "print a slot-trace summary of the first run")
 		asJSON    = fs.Bool("json", false, "emit the last run's result as JSON (for scripting)")
 		workers   = fs.Int("workers", 0, "concurrent replications (0: one per CPU); results are identical for any value")
+		cpuProf   = fs.String("cpuprofile", "", "write a pprof CPU profile to this file")
+		memProf   = fs.String("memprofile", "", "write a pprof heap profile to this file on exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	stopProf, err := profiling.Start(*cpuProf, *memProf)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if err := stopProf(); err != nil && retErr == nil {
+			retErr = err
+		}
+	}()
 
 	cfg := netmodel.DefaultConfig()
 	cfg.M = *m
@@ -84,10 +96,7 @@ func run(args []string, w io.Writer) error {
 		}
 	}
 
-	var (
-		net *netmodel.Network
-		err error
-	)
+	var net *netmodel.Network
 	switch *scenario {
 	case "single":
 		net, err = netmodel.PaperSingleFBS(cfg)

@@ -17,6 +17,7 @@ import (
 	"strings"
 
 	"femtocr/internal/experiments"
+	"femtocr/internal/profiling"
 	"femtocr/internal/safeio"
 	"femtocr/internal/stats"
 )
@@ -28,7 +29,7 @@ func main() {
 	}
 }
 
-func run(args []string, w io.Writer) error {
+func run(args []string, w io.Writer) (retErr error) {
 	// Sticky-error writer: report output errors are recorded once and
 	// surfaced at the end instead of being dropped per call.
 	out := safeio.NewWriter(w)
@@ -42,10 +43,21 @@ func run(args []string, w io.Writer) error {
 		quick   = fs.Bool("quick", false, "smoke scale (2 runs x 3 GOPs)")
 		workers = fs.Int("workers", 0, "concurrent simulation runs (0: one per CPU); results are identical for any value")
 		dir     = fs.String("out", "", "directory for .txt/.csv output (empty: stdout only)")
+		cpuProf = fs.String("cpuprofile", "", "write a pprof CPU profile to this file")
+		memProf = fs.String("memprofile", "", "write a pprof heap profile to this file on exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	stopProf, err := profiling.Start(*cpuProf, *memProf)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if err := stopProf(); err != nil && retErr == nil {
+			retErr = err
+		}
+	}()
 
 	p := experiments.Params{Runs: *runs, GOPs: *gops, BaseSeed: *seed}
 	if *quick {

@@ -81,7 +81,20 @@ type SlotDecision struct {
 // per-channel prior busy probabilities (priors[m-1] = eta of channel m) and
 // the fused posteriors (posteriors[m-1] = P_A of channel m).
 func (p Policy) Decide(priors, posteriors []float64, s *rng.Stream) SlotDecision {
-	out := SlotDecision{Channels: make([]ChannelDecision, len(posteriors))}
+	out := SlotDecision{}
+	p.DecideInto(priors, posteriors, s, &out)
+	return out
+}
+
+// DecideInto is Decide writing into a caller-owned decision, reusing its
+// Channels slice, for per-slot loops that keep one SlotDecision alive.
+func (p Policy) DecideInto(priors, posteriors []float64, s *rng.Stream, out *SlotDecision) {
+	m := len(posteriors)
+	if cap(out.Channels) < m {
+		out.Channels = make([]ChannelDecision, m)
+	} else {
+		out.Channels = out.Channels[:m]
+	}
 	for i, pa := range posteriors {
 		prior := 1.0
 		if i < len(priors) {
@@ -96,18 +109,22 @@ func (p Policy) Decide(priors, posteriors []float64, s *rng.Stream) SlotDecision
 			Accessed:   s.Bernoulli(pd),
 		}
 	}
-	return out
 }
 
 // Available returns the accessed channel set A(t) as 1-based indices.
 func (d SlotDecision) Available() []int {
-	var out []int
+	return d.AppendAvailable(nil)
+}
+
+// AppendAvailable appends the accessed channel set A(t) to buf (typically
+// buf[:0] of a reused slice) and returns it.
+func (d SlotDecision) AppendAvailable(buf []int) []int {
 	for _, c := range d.Channels {
 		if c.Accessed {
-			out = append(out, c.Channel)
+			buf = append(buf, c.Channel)
 		}
 	}
-	return out
+	return buf
 }
 
 // ExpectedAvailable returns G_t = sum over accessed channels of P_A, the

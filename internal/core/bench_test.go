@@ -21,6 +21,7 @@ func BenchmarkWaterfill(b *testing.B) {
 	for i := range users {
 		users[i] = waterfillUser{ps: 0.3 + 0.7*s.Float64(), w: 25 + 10*s.Float64(), r: 0.1 + 0.4*s.Float64(), cap: -1}
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		waterfill(users, 1)
@@ -30,6 +31,7 @@ func BenchmarkWaterfill(b *testing.B) {
 func BenchmarkDualSolver(b *testing.B) {
 	in := benchInstance(9, 3)
 	solver := NewDualSolver()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := solver.Solve(in); err != nil {
@@ -41,6 +43,7 @@ func BenchmarkDualSolver(b *testing.B) {
 func BenchmarkDualSolverConstantStep(b *testing.B) {
 	in := benchInstance(9, 3)
 	solver := NewDualSolver(WithConstantStep(), WithStep(1e-3))
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := solver.Solve(in); err != nil {
@@ -52,6 +55,7 @@ func BenchmarkDualSolverConstantStep(b *testing.B) {
 func BenchmarkEquilibriumSolver(b *testing.B) {
 	in := benchInstance(9, 3)
 	solver := &EquilibriumSolver{}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := solver.Solve(in); err != nil {
@@ -63,6 +67,7 @@ func BenchmarkEquilibriumSolver(b *testing.B) {
 func BenchmarkBruteForceSolver(b *testing.B) {
 	in := benchInstance(9, 3)
 	solver := &BruteForceSolver{}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := solver.Solve(in); err != nil {
@@ -73,6 +78,7 @@ func BenchmarkBruteForceSolver(b *testing.B) {
 
 func BenchmarkHeuristic1(b *testing.B) {
 	in := benchInstance(9, 3)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := (Heuristic1{}).Solve(in); err != nil {
@@ -83,6 +89,7 @@ func BenchmarkHeuristic1(b *testing.B) {
 
 func BenchmarkHeuristic2(b *testing.B) {
 	in := benchInstance(9, 3)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := (Heuristic2{}).Solve(in); err != nil {
@@ -94,6 +101,7 @@ func BenchmarkHeuristic2(b *testing.B) {
 func BenchmarkGreedyEager(b *testing.B) {
 	p := interferingProblemBench(5)
 	g := NewGreedyAllocator(&EquilibriumSolver{})
+	b.ReportAllocs()
 	b.ResetTimer()
 	evals := 0
 	for i := 0; i < b.N; i++ {
@@ -109,6 +117,7 @@ func BenchmarkGreedyEager(b *testing.B) {
 func BenchmarkGreedyLazy(b *testing.B) {
 	p := interferingProblemBench(5)
 	g := NewGreedyAllocator(&EquilibriumSolver{}, WithLazyEvaluation())
+	b.ReportAllocs()
 	b.ResetTimer()
 	evals := 0
 	for i := 0; i < b.N; i++ {

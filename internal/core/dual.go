@@ -24,7 +24,10 @@ type DualSolver struct {
 	lambdaMin   float64
 }
 
-var _ Solver = (*DualSolver)(nil)
+var (
+	_ Solver     = (*DualSolver)(nil)
+	_ IntoSolver = (*DualSolver)(nil)
+)
 
 // DualOption configures a DualSolver.
 type DualOption func(*DualSolver)
@@ -82,8 +85,22 @@ type DualReport struct {
 
 // Solve returns a feasible allocation for the slot's problem.
 func (d *DualSolver) Solve(in *Instance) (*Allocation, error) {
-	alloc, _, err := d.SolveDetailed(in)
-	return alloc, err
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	alloc := NewAllocation(in.K())
+	if err := d.solveInto(in, alloc, nil); err != nil {
+		return nil, err
+	}
+	return alloc, nil
+}
+
+// SolveInto solves the slot's problem into a caller-owned allocation.
+func (d *DualSolver) SolveInto(in *Instance, out *Allocation) error {
+	if err := in.Validate(); err != nil {
+		return err
+	}
+	return d.solveInto(in, out, nil)
 }
 
 // SolveDetailed additionally returns the dual-iteration diagnostics.
@@ -91,16 +108,39 @@ func (d *DualSolver) SolveDetailed(in *Instance) (*Allocation, *DualReport, erro
 	if err := in.Validate(); err != nil {
 		return nil, nil, err
 	}
+	alloc := NewAllocation(in.K())
+	report := &DualReport{}
+	if err := d.solveInto(in, alloc, report); err != nil {
+		return nil, nil, err
+	}
+	return alloc, report, nil
+}
+
+// solveInto runs the dual iteration on pooled workspace scratch, writing
+// the repaired allocation into out and, when report is non-nil, the
+// diagnostics into report.
+func (d *DualSolver) solveInto(in *Instance, out *Allocation, report *DualReport) error {
+	ws := getWorkspace()
+	defer putWorkspace(ws)
+
 	k, n := in.K(), in.N()
 	nRes := n + 1 // resource 0 is the common channel, 1..N the FBS bands
+	ws.prepareUsers(in)
 
 	// Per-resource price scale estimates used for auto step sizing and
 	// initialization: lambda* ~ sum(ps) / (1 + sum(w/r)) from the
 	// water-filling KKT conditions.
-	scale := make([]float64, nRes)
+	scale := growF(ws.scale, nRes)
+	ws.scale = scale
 	{
-		sumPS := make([]float64, nRes)
-		sumWR := make([]float64, nRes)
+		sumPS := growF(ws.sumPS, nRes)
+		ws.sumPS = sumPS
+		sumWR := growF(ws.sumWR, nRes)
+		ws.sumWR = sumWR
+		for i := 0; i < nRes; i++ {
+			sumPS[i] = 0
+			sumWR[i] = 0
+		}
 		for j := 0; j < k; j++ {
 			if in.R0[j] > 0 {
 				sumPS[0] += in.PS0[j]
@@ -121,20 +161,22 @@ func (d *DualSolver) SolveDetailed(in *Instance) (*Allocation, *DualReport, erro
 		}
 	}
 
-	lambda := make([]float64, nRes)
+	lambda := growF(ws.lambda, nRes)
+	ws.lambda = lambda
 	for i := range lambda {
 		lambda[i] = 2 * scale[i] // start above the target, as in Fig. 4(a)
 	}
-	report := &DualReport{Iterations: 0}
-	if d.trace {
-		report.Trace = append(report.Trace, append([]float64(nil), lambda...))
+	if report != nil {
+		report.Iterations = 0
+		if d.trace {
+			report.Trace = append(report.Trace, append([]float64(nil), lambda...))
+		}
 	}
 
-	rho0 := make([]float64, k)
-	rho1 := make([]float64, k)
-	onMBS := make([]bool, k)
-	sums := make([]float64, nRes)
-	next := make([]float64, nRes)
+	sums := growF(ws.sums, nRes)
+	ws.sums = sums
+	next := growF(ws.next, nRes)
+	ws.next = next
 
 	for tau := 0; tau < d.maxIter; tau++ {
 		// Steps 3-8: each user solves its subproblem at the current prices.
@@ -143,19 +185,12 @@ func (d *DualSolver) SolveDetailed(in *Instance) (*Allocation, *DualReport, erro
 		}
 		for j := 0; j < k; j++ {
 			i := in.FBS[j]
-			u0 := in.user0(j)
-			u1 := in.user1(j)
 			l0 := math.Max(lambda[0], d.lambdaMin)
 			l1 := math.Max(lambda[i], d.lambdaMin)
-			r0, r1 := u0.rhoAt(l0), u1.rhoAt(l1)
-			if u0.branchValue(l0) > u1.branchValue(l1) {
-				onMBS[j] = true
-				rho0[j], rho1[j] = r0, 0
-				sums[0] += r0
+			if ws.u0[j].branchValueLog(l0, ws.logW[j]) > ws.u1[j].branchValueLog(l1, ws.logW[j]) {
+				sums[0] += ws.u0[j].rhoAt(l0)
 			} else {
-				onMBS[j] = false
-				rho0[j], rho1[j] = 0, r1
-				sums[i] += r1
+				sums[i] += ws.u1[j].rhoAt(l1)
 			}
 		}
 
@@ -181,69 +216,73 @@ func (d *DualSolver) SolveDetailed(in *Instance) (*Allocation, *DualReport, erro
 			move += delta * delta
 		}
 		copy(lambda, next)
-		report.Iterations = tau + 1
-		if d.trace {
-			report.Trace = append(report.Trace, append([]float64(nil), lambda...))
+		if report != nil {
+			report.Iterations = tau + 1
+			if d.trace {
+				report.Trace = append(report.Trace, append([]float64(nil), lambda...))
+			}
 		}
 		if move <= d.phi {
-			report.Converged = true
+			if report != nil {
+				report.Converged = true
+			}
 			break
 		}
 	}
-	report.Lambda = append([]float64(nil), lambda...)
+	if report != nil {
+		report.Lambda = append([]float64(nil), lambda...)
+	}
 
 	// Repair: freeze the association from the final prices and water-fill
 	// each resource exactly so the allocation is feasible and supported by
 	// consistent prices.
-	alloc := d.repair(in, lambda)
-	if err := alloc.Feasible(in, 1e-9); err != nil {
-		return nil, nil, fmt.Errorf("dual solver produced infeasible allocation: %w", err)
+	d.repair(in, out, lambda, ws)
+	if err := feasibleCached(in, out, ws, 1e-9); err != nil {
+		return fmt.Errorf("dual solver produced infeasible allocation: %w", err)
 	}
-	return alloc, report, nil
+	return nil
 }
 
 // repair builds the final feasible allocation: users keep the base station
 // chosen at the final prices; each resource is then water-filled among its
 // users.
-func (d *DualSolver) repair(in *Instance, lambda []float64) *Allocation {
+func (d *DualSolver) repair(in *Instance, alloc *Allocation, lambda []float64, ws *solveWorkspace) {
 	k := in.K()
-	alloc := NewAllocation(k)
+	alloc.resize(k)
 	for j := 0; j < k; j++ {
 		i := in.FBS[j]
-		u0 := in.user0(j)
-		u1 := in.user1(j)
 		l0 := math.Max(lambda[0], d.lambdaMin)
 		l1 := math.Max(lambda[i], d.lambdaMin)
-		alloc.MBS[j] = u0.branchValue(l0) > u1.branchValue(l1)
+		alloc.MBS[j] = ws.u0[j].branchValueLog(l0, ws.logW[j]) > ws.u1[j].branchValueLog(l1, ws.logW[j])
 	}
-	fillResources(in, alloc)
-	polishAssociation(in, alloc, 4)
-	return alloc
+	fillResources(in, alloc, ws)
+	polishAssociation(in, alloc, 4, ws)
 }
 
 // polishAssociation runs best-improvement coordinate search over the binary
 // base-station association: flip one user at a time, re-water-fill the two
 // affected resources, keep strict improvements. It repairs mis-associations
 // left by a truncated dual iteration; at most maxRounds passes over the
-// users.
-func polishAssociation(in *Instance, alloc *Allocation, maxRounds int) {
+// users. The workspace must have prepareUsers already applied for this
+// instance (it supplies the water-filling views and cached log(W) terms).
+func polishAssociation(in *Instance, alloc *Allocation, maxRounds int, ws *solveWorkspace) {
 	k := in.K()
-	cur := alloc.Objective(in)
+	cur := objectiveCached(in, alloc, ws.logW)
 	for round := 0; round < maxRounds; round++ {
 		improved := false
 		for j := 0; j < k; j++ {
 			// Flipping user j only perturbs the common channel and its own
 			// FBS band; every other resource's water-filling is unchanged.
 			alloc.MBS[j] = !alloc.MBS[j]
-			fillCommon(in, alloc)
-			fillFBS(in, alloc, in.FBS[j])
-			if v := alloc.Objective(in); v > cur+1e-12 {
+			fillCommon(in, alloc, ws)
+			fillFBS(in, alloc, in.FBS[j], ws)
+			if v := objectiveCached(in, alloc, ws.logW); v > cur+1e-12 {
 				cur = v
 				improved = true
 			} else {
 				alloc.MBS[j] = !alloc.MBS[j]
-				fillCommon(in, alloc)
-				fillFBS(in, alloc, in.FBS[j])
+				fillCommon(in, alloc, ws)
+				fillFBS(in, alloc, in.FBS[j], ws)
 			}
 		}
 		if !improved {
@@ -254,44 +293,51 @@ func polishAssociation(in *Instance, alloc *Allocation, maxRounds int) {
 
 // fillResources water-fills the common channel among MBS users and each FBS
 // band among its users, given a fixed association in alloc.MBS.
-func fillResources(in *Instance, alloc *Allocation) {
-	fillCommon(in, alloc)
+func fillResources(in *Instance, alloc *Allocation, ws *solveWorkspace) {
+	fillCommon(in, alloc, ws)
 	for i := 1; i <= in.N(); i++ {
-		fillFBS(in, alloc, i)
+		fillFBS(in, alloc, i, ws)
 	}
 }
 
 // fillCommon water-fills the common channel among the users associated with
-// the MBS.
-func fillCommon(in *Instance, alloc *Allocation) {
+// the MBS, on workspace scratch.
+func fillCommon(in *Instance, alloc *Allocation, ws *solveWorkspace) {
 	k := in.K()
-	var mbsUsers []int
-	var wfu []waterfillUser
+	mbsUsers := ws.wfIdx[:0]
+	wfu := ws.wfUsers[:0]
 	for j := 0; j < k; j++ {
 		if alloc.MBS[j] {
 			mbsUsers = append(mbsUsers, j)
-			wfu = append(wfu, in.user0(j))
+			wfu = append(wfu, ws.u0[j])
 		}
 	}
-	rho, _ := waterfill(wfu, 1)
+	ws.wfIdx, ws.wfUsers = mbsUsers, wfu
+	rho := growF(ws.wfRho, len(wfu))
+	ws.wfRho = rho
+	waterfillInto(rho, wfu, 1)
 	for idx, j := range mbsUsers {
 		alloc.Rho0[j] = rho[idx]
 		alloc.Rho1[j] = 0
 	}
 }
 
-// fillFBS water-fills FBS i's licensed band among its associated users.
-func fillFBS(in *Instance, alloc *Allocation, i int) {
+// fillFBS water-fills FBS i's licensed band among its associated users, on
+// workspace scratch.
+func fillFBS(in *Instance, alloc *Allocation, i int, ws *solveWorkspace) {
 	k := in.K()
-	var users []int
-	var fu []waterfillUser
+	users := ws.wfIdx[:0]
+	fu := ws.wfUsers[:0]
 	for j := 0; j < k; j++ {
 		if !alloc.MBS[j] && in.FBS[j] == i {
 			users = append(users, j)
-			fu = append(fu, in.user1(j))
+			fu = append(fu, ws.u1[j])
 		}
 	}
-	rhoI, _ := waterfill(fu, 1)
+	ws.wfIdx, ws.wfUsers = users, fu
+	rhoI := growF(ws.wfRho, len(fu))
+	ws.wfRho = rhoI
+	waterfillInto(rhoI, fu, 1)
 	for idx, j := range users {
 		alloc.Rho1[j] = rhoI[idx]
 		alloc.Rho0[j] = 0

@@ -16,7 +16,10 @@ type BruteForceSolver struct {
 	MaxUsers int
 }
 
-var _ Solver = (*BruteForceSolver)(nil)
+var (
+	_ Solver     = (*BruteForceSolver)(nil)
+	_ IntoSolver = (*BruteForceSolver)(nil)
+)
 
 // Name identifies the scheme.
 func (b *BruteForceSolver) Name() string { return "Optimal" }
@@ -26,34 +29,52 @@ func (b *BruteForceSolver) Solve(in *Instance) (*Allocation, error) {
 	if err := in.Validate(); err != nil {
 		return nil, err
 	}
+	best := NewAllocation(in.K())
+	if err := b.solveInto(in, best); err != nil {
+		return nil, err
+	}
+	return best, nil
+}
+
+// SolveInto enumerates associations into a caller-owned allocation.
+func (b *BruteForceSolver) SolveInto(in *Instance, out *Allocation) error {
+	if err := in.Validate(); err != nil {
+		return err
+	}
+	return b.solveInto(in, out)
+}
+
+func (b *BruteForceSolver) solveInto(in *Instance, best *Allocation) error {
 	limit := b.MaxUsers
 	if limit == 0 {
 		limit = 20
 	}
 	k := in.K()
 	if k > limit {
-		return nil, fmt.Errorf("%w: %d users exceeds brute-force limit %d", ErrNoSolution, k, limit)
+		return fmt.Errorf("%w: %d users exceeds brute-force limit %d", ErrNoSolution, k, limit)
 	}
-	var best *Allocation
+	ws := getWorkspace()
+	defer putWorkspace(ws)
+	ws.prepareUsers(in)
 	bestVal := math.Inf(-1)
-	alloc := NewAllocation(k)
+	best.resize(k)
+	alloc := &ws.qAlloc
+	alloc.resize(k)
 	for mask := 0; mask < 1<<k; mask++ {
 		for j := 0; j < k; j++ {
 			alloc.MBS[j] = mask&(1<<j) != 0
 			alloc.Rho0[j] = 0
 			alloc.Rho1[j] = 0
 		}
-		fillResources(in, alloc)
-		if v := alloc.Objective(in); v > bestVal {
+		fillResources(in, alloc, ws)
+		if v := objectiveCached(in, alloc, ws.logW); v > bestVal {
 			bestVal = v
-			cp := NewAllocation(k)
-			copy(cp.MBS, alloc.MBS)
-			copy(cp.Rho0, alloc.Rho0)
-			copy(cp.Rho1, alloc.Rho1)
-			best = cp
+			copy(best.MBS, alloc.MBS)
+			copy(best.Rho0, alloc.Rho0)
+			copy(best.Rho1, alloc.Rho1)
 		}
 	}
-	return best, nil
+	return nil
 }
 
 // EquilibriumSolver computes a near-exact solution in polynomial time by a
@@ -70,7 +91,10 @@ type EquilibriumSolver struct {
 	Iters int
 }
 
-var _ Solver = (*EquilibriumSolver)(nil)
+var (
+	_ Solver     = (*EquilibriumSolver)(nil)
+	_ IntoSolver = (*EquilibriumSolver)(nil)
+)
 
 // Name identifies the scheme.
 func (e *EquilibriumSolver) Name() string { return "Proposed" }
@@ -80,27 +104,39 @@ func (e *EquilibriumSolver) Solve(in *Instance) (*Allocation, error) {
 	if err := in.Validate(); err != nil {
 		return nil, err
 	}
+	alloc := NewAllocation(in.K())
+	if err := e.solveInto(in, alloc); err != nil {
+		return nil, err
+	}
+	return alloc, nil
+}
+
+// SolveInto solves the slot's problem into a caller-owned allocation.
+func (e *EquilibriumSolver) SolveInto(in *Instance, out *Allocation) error {
+	if err := in.Validate(); err != nil {
+		return err
+	}
+	return e.solveInto(in, out)
+}
+
+func (e *EquilibriumSolver) solveInto(in *Instance, alloc *Allocation) error {
 	iters := e.Iters
 	if iters == 0 {
 		iters = 45
 	}
 	k := in.K()
 
-	u0 := make([]waterfillUser, k)
-	u1 := make([]waterfillUser, k)
-	sum0PS, sum0WR := 0.0, 0.0
+	ws := getWorkspace()
+	defer putWorkspace(ws)
+	ws.prepareUsers(in)
+	u0, u1, logW := ws.u0, ws.u1, ws.logW
+	sum0PS := 0.0
 	for j := 0; j < k; j++ {
-		u0[j] = in.user0(j)
-		u1[j] = in.user1(j)
 		if in.R0[j] > 0 {
 			sum0PS += in.PS0[j]
-			sum0WR += in.W[j] / in.R0[j]
 		}
 	}
-	byFBS := make([][]int, in.N()+1)
-	for j := 0; j < k; j++ {
-		byFBS[in.FBS[j]] = append(byFBS[in.FBS[j]], j)
-	}
+	byFBS := ws.groupByFBS(in)
 
 	const lambdaFloor = 1e-15
 
@@ -109,16 +145,17 @@ func (e *EquilibriumSolver) Solve(in *Instance) (*Allocation, error) {
 	// choice. Demand is non-increasing in the band price: shares shrink and
 	// users defect to the MBS as it rises. The MBS branch values depend
 	// only on l0, so they are computed once per call.
-	v0 := make([]float64, k)
+	ws.v0 = growF(ws.v0, k)
+	v0 := ws.v0
 	equilibriumFBS := func(i int, l0 float64) float64 {
 		members := byFBS[i]
 		for _, j := range members {
-			v0[j] = u0[j].branchValue(l0)
+			v0[j] = u0[j].branchValueLog(l0, logW[j])
 		}
 		demand := func(li float64) float64 {
 			total := 0.0
 			for _, j := range members {
-				if u1[j].branchValue(li) >= v0[j] {
+				if u1[j].branchValueLog(li, logW[j]) >= v0[j] {
 					total += u1[j].rhoAt(li)
 				}
 			}
@@ -156,7 +193,7 @@ func (e *EquilibriumSolver) Solve(in *Instance) (*Allocation, error) {
 		for i := 1; i <= in.N(); i++ {
 			li := equilibriumFBS(i, l0)
 			for _, j := range byFBS[i] {
-				if v0[j] > u1[j].branchValue(li) {
+				if v0[j] > u1[j].branchValueLog(li, logW[j]) {
 					total += u0[j].rhoAt(l0)
 				}
 			}
@@ -186,17 +223,17 @@ func (e *EquilibriumSolver) Solve(in *Instance) (*Allocation, error) {
 	}
 
 	// Fix the association at the equilibrium prices, then water-fill.
-	alloc := NewAllocation(k)
+	alloc.resize(k)
 	for i := 1; i <= in.N(); i++ {
 		li := equilibriumFBS(i, l0)
 		for _, j := range byFBS[i] {
-			alloc.MBS[j] = v0[j] > u1[j].branchValue(li)
+			alloc.MBS[j] = v0[j] > u1[j].branchValueLog(li, logW[j])
 		}
 	}
-	fillResources(in, alloc)
-	polishAssociation(in, alloc, 4)
-	if err := alloc.Feasible(in, 1e-9); err != nil {
-		return nil, fmt.Errorf("equilibrium solver produced infeasible allocation: %w", err)
+	fillResources(in, alloc, ws)
+	polishAssociation(in, alloc, 4, ws)
+	if err := feasibleCached(in, alloc, ws, 1e-9); err != nil {
+		return fmt.Errorf("equilibrium solver produced infeasible allocation: %w", err)
 	}
-	return alloc, nil
+	return nil
 }

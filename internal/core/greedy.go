@@ -13,10 +13,19 @@ import (
 // is malformed.
 var ErrBadChannelProblem = errors.New("core: invalid channel-allocation problem")
 
-// fbsChannel identifies one candidate pair {i, m} of Table III.
-type fbsChannel struct {
-	fbs   int // 0-based FBS index
-	chIdx int // index into ChannelProblem.Channels
+// Candidate pairs {i, m} of Table III are keyed by the flat index
+// pairIdx = fbs*len(Channels) + chIdx, so the candidate set is a reusable
+// []bool in the workspace rather than a map whose deterministic traversal
+// needed a rebuilt-and-sorted key slice every round (the old mapiter
+// pressure). Ascending pairIdx order is exactly the old sorted
+// (fbs, chIdx) order, so evaluation sequences — and therefore results —
+// are unchanged.
+
+// lazyEntry is one cached candidate gain on the lazy-evaluation max-heap.
+type lazyEntry struct {
+	idx   int // pairIdx of the candidate
+	gain  float64
+	round int // allocation round the gain was computed in
 }
 
 // ChannelProblem is the input to the greedy algorithm of Table III: the
@@ -127,6 +136,21 @@ func NewGreedyAllocator(solver Solver, opts ...GreedyOption) *GreedyAllocator {
 // Name identifies the scheme.
 func (g *GreedyAllocator) Name() string { return "Proposed" }
 
+// greedyRun bundles one Allocate call's state: the problem, the candidate
+// set keyed by pairIdx over the workspace's alive buffer, and the running
+// objective. Everything scratch lives on the pooled workspace; everything
+// that escapes lives on res.
+type greedyRun struct {
+	p          *ChannelProblem
+	nCh        int
+	ws         *solveWorkspace
+	alive      []bool // candidate liveness, indexed by pairIdx
+	aliveCount int
+	cur        float64 // Q of the current partial allocation
+	res        *GreedyResult
+	slack      boundSlack
+}
+
 // Allocate runs Table III and solves the user problem on the resulting
 // channel allocation.
 func (g *GreedyAllocator) Allocate(p *ChannelProblem) (*GreedyResult, error) {
@@ -140,61 +164,93 @@ func (g *GreedyAllocator) Allocate(p *ChannelProblem) (*GreedyResult, error) {
 		LowerBoundFactor: 1 / (1 + float64(p.Graph.MaxDegree())),
 	}
 
-	// Q evaluates the user problem for an expected-channel vector.
-	q := func(gvec []float64) (float64, error) {
-		res.Evaluations++
-		alloc, err := g.solver.Solve(p.Base.WithG(gvec))
-		if err != nil {
-			return 0, err
-		}
-		return alloc.Objective(p.Base.WithG(gvec)), nil
-	}
+	ws := getWorkspace()
+	defer putWorkspace(ws)
+	// The cached log(W) terms depend only on Base.W, which every Q
+	// evaluation shares regardless of its trial G vector.
+	ws.prepareUsers(p.Base)
 
-	cur, err := q(res.G)
-	if err != nil {
+	r := &greedyRun{p: p, nCh: len(p.Channels), ws: ws, res: res}
+	nPairs := n * r.nCh
+	r.alive = growB(ws.alive, nPairs)
+	ws.alive = r.alive
+	for i := range r.alive {
+		r.alive[i] = true
+	}
+	r.aliveCount = nPairs
+
+	var err error
+	if r.cur, err = g.q(r, res.G); err != nil {
 		return nil, err
 	}
 
-	candidates := make(map[fbsChannel]bool, n*len(p.Channels))
-	for i := 0; i < n; i++ {
-		for c := range p.Channels {
-			candidates[fbsChannel{i, c}] = true
-		}
-	}
-
-	gainOf := func(pr fbsChannel) (float64, error) {
-		trial := append([]float64(nil), res.G...)
-		trial[pr.fbs] += p.Posteriors[pr.chIdx]
-		v, err := q(trial)
-		if err != nil {
-			return 0, err
-		}
-		return v - cur, nil
-	}
-
-	var slack boundSlack
 	if g.lazy {
-		if err := g.runLazy(p, candidates, gainOf, &cur, res, &slack); err != nil {
-			return nil, err
-		}
+		err = g.runLazy(r)
 	} else {
-		if err := g.runEager(p, candidates, gainOf, &cur, res, &slack); err != nil {
-			return nil, err
-		}
+		err = g.runEager(r)
+	}
+	if err != nil {
+		return nil, err
 	}
 
 	for i := range res.Assigned {
 		sort.Ints(res.Assigned[i])
 	}
-	res.Value = cur
-	res.UpperBound = cur + slack.live
-	res.PaperUpperBound = cur + slack.full
-	alloc, err := g.solver.Solve(p.Base.WithG(res.G))
+	res.Value = r.cur
+	res.UpperBound = r.cur + r.slack.live
+	res.PaperUpperBound = r.cur + r.slack.full
+	// The final allocation escapes to the caller, so it gets fresh memory
+	// rather than workspace scratch.
+	final := NewAllocation(p.Base.K())
+	inst := &ws.qInstance
+	*inst = *p.Base
+	inst.G = res.G
+	if is, ok := g.solver.(IntoSolver); ok {
+		err = is.SolveInto(inst, final)
+	} else {
+		final, err = g.solver.Solve(inst)
+	}
 	if err != nil {
 		return nil, err
 	}
-	res.Alloc = alloc
+	res.Alloc = final
+	ws.qInstance = Instance{} // drop aliases into caller data before pooling
 	return res, nil
+}
+
+// q evaluates the user problem Q(c) for an expected-channel vector, solving
+// into workspace scratch. gvec may alias workspace memory; it is only read
+// during the solve.
+func (g *GreedyAllocator) q(r *greedyRun, gvec []float64) (float64, error) {
+	r.res.Evaluations++
+	inst := &r.ws.qInstance
+	*inst = *r.p.Base
+	inst.G = gvec
+	if is, ok := g.solver.(IntoSolver); ok {
+		if err := is.SolveInto(inst, &r.ws.qAlloc); err != nil {
+			return 0, err
+		}
+		return objectiveCached(inst, &r.ws.qAlloc, r.ws.logW), nil
+	}
+	alloc, err := g.solver.Solve(inst)
+	if err != nil {
+		return 0, err
+	}
+	return objectiveCached(inst, alloc, r.ws.logW), nil
+}
+
+// gainOf returns the marginal gain of allocating candidate idx on top of the
+// current partial allocation, on the workspace trial buffer.
+func (g *GreedyAllocator) gainOf(r *greedyRun, idx int) (float64, error) {
+	trial := growF(r.ws.trial, len(r.res.G))
+	r.ws.trial = trial
+	copy(trial, r.res.G)
+	trial[idx/r.nCh] += r.p.Posteriors[idx%r.nCh]
+	v, err := g.q(r, trial)
+	if err != nil {
+		return 0, err
+	}
+	return v - r.cur, nil
 }
 
 // boundSlack accumulates the degree-weighted gain sums of the two eq. (23)
@@ -209,18 +265,18 @@ type boundSlack struct {
 // returns the current marginal gain of a still-live conflicting pair; by
 // Lemma 6 it never exceeds the chosen gain, and summing the actual values
 // instead of Delta_l tightens the eq. (23) bound further.
-func (g *GreedyAllocator) take(p *ChannelProblem, candidates map[fbsChannel]bool,
-	best fbsChannel, gain float64, cur *float64, res *GreedyResult, slack *boundSlack,
-	liveGain func(fbsChannel) (float64, error)) error {
-	deg := p.Graph.Degree(best.fbs)
+func (g *GreedyAllocator) take(r *greedyRun, best int, gain float64,
+	liveGain func(int) (float64, error)) error {
+	fbs, chIdx := best/r.nCh, best%r.nCh
+	deg := r.p.Graph.Degree(fbs)
 	live := 0
-	for _, nb := range p.Graph.Neighbors(best.fbs) {
-		pr := fbsChannel{nb, best.chIdx}
-		if !candidates[pr] {
+	for _, nb := range r.p.Graph.Neighbors(fbs) {
+		idx := nb*r.nCh + chIdx
+		if !r.alive[idx] {
 			continue
 		}
 		live++
-		lg, err := liveGain(pr)
+		lg, err := liveGain(idx)
 		if err != nil {
 			return err
 		}
@@ -228,60 +284,61 @@ func (g *GreedyAllocator) take(p *ChannelProblem, candidates map[fbsChannel]bool
 			lg = gain // Lemma 6 guarantees this; guard against solver noise
 		}
 		if lg > 0 {
-			slack.live += lg
+			r.slack.live += lg
 		}
 	}
-	res.G[best.fbs] += p.Posteriors[best.chIdx]
-	res.Assigned[best.fbs] = append(res.Assigned[best.fbs], p.Channels[best.chIdx])
-	res.Steps = append(res.Steps, GreedyStep{
-		FBS:        best.fbs,
-		Channel:    p.Channels[best.chIdx],
+	r.res.G[fbs] += r.p.Posteriors[chIdx]
+	r.res.Assigned[fbs] = append(r.res.Assigned[fbs], r.p.Channels[chIdx])
+	r.res.Steps = append(r.res.Steps, GreedyStep{
+		FBS:        fbs,
+		Channel:    r.p.Channels[chIdx],
 		Gain:       gain,
 		Degree:     deg,
 		LiveDegree: live,
 	})
-	*cur += gain
-	slack.full += float64(deg) * gain
-	delete(candidates, best)
-	for _, nb := range p.Graph.Neighbors(best.fbs) {
-		delete(candidates, fbsChannel{nb, best.chIdx})
+	r.cur += gain
+	r.slack.full += float64(deg) * gain
+	r.kill(best)
+	for _, nb := range r.p.Graph.Neighbors(fbs) {
+		r.kill(nb*r.nCh + chIdx)
 	}
 	return nil
 }
 
+// kill removes candidate idx from the set if still present.
+func (r *greedyRun) kill(idx int) {
+	if r.alive[idx] {
+		r.alive[idx] = false
+		r.aliveCount--
+	}
+}
+
 // runEager is the literal Table III loop: re-evaluate every remaining
-// candidate each round and take the best.
-func (g *GreedyAllocator) runEager(p *ChannelProblem, candidates map[fbsChannel]bool,
-	gainOf func(fbsChannel) (float64, error), cur *float64,
-	res *GreedyResult, slack *boundSlack) error {
-	for len(candidates) > 0 {
+// candidate each round and take the best. Candidates are scanned in
+// ascending pairIdx order, the same deterministic (fbs, chIdx) order the
+// sorted map keys used to give.
+func (g *GreedyAllocator) runEager(r *greedyRun) error {
+	gains := growF(r.ws.gains, len(r.alive))
+	r.ws.gains = gains
+	for r.aliveCount > 0 {
 		bestGain := math.Inf(-1)
-		var best fbsChannel
-		// Deterministic iteration order for reproducibility.
-		keys := make([]fbsChannel, 0, len(candidates))
-		for pr := range candidates {
-			keys = append(keys, pr)
-		}
-		sort.Slice(keys, func(a, b int) bool {
-			if keys[a].fbs != keys[b].fbs {
-				return keys[a].fbs < keys[b].fbs
+		best := -1
+		for idx := range r.alive {
+			if !r.alive[idx] {
+				continue
 			}
-			return keys[a].chIdx < keys[b].chIdx
-		})
-		roundGains := make(map[fbsChannel]float64, len(keys))
-		for _, pr := range keys {
-			gain, err := gainOf(pr)
+			gain, err := g.gainOf(r, idx)
 			if err != nil {
 				return err
 			}
-			roundGains[pr] = gain
+			gains[idx] = gain
 			if gain > bestGain {
 				bestGain = gain
-				best = pr
+				best = idx
 			}
 		}
-		lookup := func(pr fbsChannel) (float64, error) { return roundGains[pr], nil }
-		if err := g.take(p, candidates, best, bestGain, cur, res, slack, lookup); err != nil {
+		lookup := func(idx int) (float64, error) { return gains[idx], nil }
+		if err := g.take(r, best, bestGain, lookup); err != nil {
 			return err
 		}
 	}
@@ -290,17 +347,11 @@ func (g *GreedyAllocator) runEager(p *ChannelProblem, candidates map[fbsChannel]
 
 // runLazy exploits submodularity: cached gains only shrink as the
 // allocation grows, so the best stale gain, once refreshed and still on
-// top, is the true maximum.
-func (g *GreedyAllocator) runLazy(p *ChannelProblem, candidates map[fbsChannel]bool,
-	gainOf func(fbsChannel) (float64, error), cur *float64,
-	res *GreedyResult, slack *boundSlack) error {
-	type entry struct {
-		pr    fbsChannel
-		gain  float64
-		round int
-	}
-	var heap []entry
-	push := func(e entry) {
+// top, is the true maximum. The max-heap lives on workspace scratch.
+func (g *GreedyAllocator) runLazy(r *greedyRun) error {
+	heap := r.ws.heap[:0]
+	defer func() { r.ws.heap = heap[:0] }()
+	push := func(e lazyEntry) {
 		heap = append(heap, e)
 		for i := len(heap) - 1; i > 0; {
 			parent := (i - 1) / 2
@@ -311,19 +362,19 @@ func (g *GreedyAllocator) runLazy(p *ChannelProblem, candidates map[fbsChannel]b
 			i = parent
 		}
 	}
-	pop := func() entry {
+	pop := func() lazyEntry {
 		top := heap[0]
 		last := len(heap) - 1
 		heap[0] = heap[last]
 		heap = heap[:last]
 		for i := 0; ; {
-			l, r := 2*i+1, 2*i+2
+			l, rr := 2*i+1, 2*i+2
 			largest := i
 			if l < len(heap) && heap[l].gain > heap[largest].gain {
 				largest = l
 			}
-			if r < len(heap) && heap[r].gain > heap[largest].gain {
-				largest = r
+			if rr < len(heap) && heap[rr].gain > heap[largest].gain {
+				largest = rr
 			}
 			if largest == i {
 				break
@@ -334,40 +385,31 @@ func (g *GreedyAllocator) runLazy(p *ChannelProblem, candidates map[fbsChannel]b
 		return top
 	}
 
-	// Deterministic initial order.
-	keys := make([]fbsChannel, 0, len(candidates))
-	for pr := range candidates {
-		keys = append(keys, pr)
-	}
-	sort.Slice(keys, func(a, b int) bool {
-		if keys[a].fbs != keys[b].fbs {
-			return keys[a].fbs < keys[b].fbs
-		}
-		return keys[a].chIdx < keys[b].chIdx
-	})
-	for _, pr := range keys {
-		gain, err := gainOf(pr)
+	// Deterministic initial order: ascending pairIdx.
+	for idx := range r.alive {
+		gain, err := g.gainOf(r, idx)
 		if err != nil {
 			return err
 		}
-		push(entry{pr: pr, gain: gain, round: 0})
+		push(lazyEntry{idx: idx, gain: gain, round: 0})
 	}
 
 	round := 0
+	gainOf := func(idx int) (float64, error) { return g.gainOf(r, idx) }
 	for len(heap) > 0 {
 		top := pop()
-		if !candidates[top.pr] {
+		if !r.alive[top.idx] {
 			continue // removed by an interference conflict
 		}
 		if top.round != round {
-			gain, err := gainOf(top.pr)
+			gain, err := g.gainOf(r, top.idx)
 			if err != nil {
 				return err
 			}
-			push(entry{pr: top.pr, gain: gain, round: round})
+			push(lazyEntry{idx: top.idx, gain: gain, round: round})
 			continue
 		}
-		if err := g.take(p, candidates, top.pr, top.gain, cur, res, slack, gainOf); err != nil {
+		if err := g.take(r, top.idx, top.gain, gainOf); err != nil {
 			return err
 		}
 		round++

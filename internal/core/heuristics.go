@@ -7,18 +7,36 @@ package core
 // coordination across users.
 type Heuristic1 struct{}
 
-var _ Solver = Heuristic1{}
+var (
+	_ Solver     = Heuristic1{}
+	_ IntoSolver = Heuristic1{}
+)
 
 // Name identifies the scheme.
 func (Heuristic1) Name() string { return "Heuristic 1" }
 
 // Solve splits each resource equally among the users that selected it.
-func (Heuristic1) Solve(in *Instance) (*Allocation, error) {
+func (h Heuristic1) Solve(in *Instance) (*Allocation, error) {
 	if err := in.Validate(); err != nil {
 		return nil, err
 	}
+	alloc := NewAllocation(in.K())
+	h.solveInto(in, alloc)
+	return alloc, nil
+}
+
+// SolveInto solves into a caller-owned allocation.
+func (h Heuristic1) SolveInto(in *Instance, out *Allocation) error {
+	if err := in.Validate(); err != nil {
+		return err
+	}
+	h.solveInto(in, out)
+	return nil
+}
+
+func (Heuristic1) solveInto(in *Instance, alloc *Allocation) {
 	k := in.K()
-	alloc := NewAllocation(k)
+	alloc.resize(k)
 	// Each user compares the expected per-unit-time quality rate of the two
 	// modes: success probability times the PSNR increment rate.
 	for j := 0; j < k; j++ {
@@ -27,8 +45,14 @@ func (Heuristic1) Solve(in *Instance) (*Allocation, error) {
 		alloc.MBS[j] = mbsRate > fbsRate
 	}
 	// Equal split per resource.
+	ws := getWorkspace()
+	defer putWorkspace(ws)
+	fbsCount := growI(ws.wfIdx, in.N())
+	ws.wfIdx = fbsCount
+	for i := range fbsCount {
+		fbsCount[i] = 0
+	}
 	mbsCount := 0
-	fbsCount := make([]int, in.N())
 	for j := 0; j < k; j++ {
 		if alloc.MBS[j] {
 			mbsCount++
@@ -43,7 +67,6 @@ func (Heuristic1) Solve(in *Instance) (*Allocation, error) {
 			alloc.Rho1[j] = 1 / float64(fbsCount[in.FBS[j]-1])
 		}
 	}
-	return alloc, nil
 }
 
 // Heuristic2 is the paper's second baseline, exploiting multiuser
@@ -53,25 +76,50 @@ func (Heuristic1) Solve(in *Instance) (*Allocation, error) {
 // globally by the base stations rather than locally by users.
 type Heuristic2 struct{}
 
-var _ Solver = Heuristic2{}
+var (
+	_ Solver     = Heuristic2{}
+	_ IntoSolver = Heuristic2{}
+)
 
 // Name identifies the scheme.
 func (Heuristic2) Name() string { return "Heuristic 2" }
 
 // Solve grants whole slots to the best-channel users.
-func (Heuristic2) Solve(in *Instance) (*Allocation, error) {
+func (h Heuristic2) Solve(in *Instance) (*Allocation, error) {
 	if err := in.Validate(); err != nil {
 		return nil, err
 	}
+	alloc := NewAllocation(in.K())
+	h.solveInto(in, alloc)
+	return alloc, nil
+}
+
+// SolveInto solves into a caller-owned allocation.
+func (h Heuristic2) SolveInto(in *Instance, out *Allocation) error {
+	if err := in.Validate(); err != nil {
+		return err
+	}
+	h.solveInto(in, out)
+	return nil
+}
+
+func (Heuristic2) solveInto(in *Instance, alloc *Allocation) {
 	k := in.K()
-	alloc := NewAllocation(k)
-	taken := make([]bool, k)
+	alloc.resize(k)
+	ws := getWorkspace()
+	defer putWorkspace(ws)
+	taken := growB(ws.alive, k)
+	ws.alive = taken
+	for j := range taken {
+		taken[j] = false
+	}
+	byFBS := ws.groupByFBS(in)
 
 	// Each FBS picks its user with the highest packet-success probability
 	// (ties to the lowest index, making runs reproducible).
 	for i := 1; i <= in.N(); i++ {
 		best := -1
-		for _, j := range in.UsersOf(i) {
+		for _, j := range byFBS[i] {
 			if best == -1 || in.PS1[j] > in.PS1[best] {
 				best = j
 			}
@@ -97,5 +145,4 @@ func (Heuristic2) Solve(in *Instance) (*Allocation, error) {
 		alloc.MBS[best] = true
 		alloc.Rho0[best] = 1
 	}
-	return alloc, nil
 }

@@ -1,7 +1,5 @@
 package core
 
-import "sort"
-
 // MaxThroughput is an extension baseline at the opposite pole from the
 // paper's proportional fairness: it maximizes the sum of expected quality
 // increments sum_j PS_j * rho_j * R_j with no concern for balance. For a
@@ -12,7 +10,10 @@ import "sort"
 // shares.
 type MaxThroughput struct{}
 
-var _ Solver = MaxThroughput{}
+var (
+	_ Solver     = MaxThroughput{}
+	_ IntoSolver = MaxThroughput{}
+)
 
 // Name identifies the scheme.
 func (MaxThroughput) Name() string { return "Max throughput" }
@@ -21,35 +22,51 @@ func (MaxThroughput) Name() string { return "Max throughput" }
 // resource in rate order, then polishes the association by coordinate
 // flips: moving one user to the other base station can raise the total
 // when it leaves an otherwise-idle resource busy.
-func (MaxThroughput) Solve(in *Instance) (*Allocation, error) {
+func (m MaxThroughput) Solve(in *Instance) (*Allocation, error) {
 	if err := in.Validate(); err != nil {
 		return nil, err
 	}
+	alloc := NewAllocation(in.K())
+	m.solveInto(in, alloc)
+	return alloc, nil
+}
+
+// SolveInto solves into a caller-owned allocation.
+func (m MaxThroughput) SolveInto(in *Instance, out *Allocation) error {
+	if err := in.Validate(); err != nil {
+		return err
+	}
+	m.solveInto(in, out)
+	return nil
+}
+
+func (MaxThroughput) solveInto(in *Instance, alloc *Allocation) {
 	k := in.K()
-	alloc := NewAllocation(k)
+	alloc.resize(k)
+	ws := getWorkspace()
+	defer putWorkspace(ws)
 	for j := 0; j < k; j++ {
 		alloc.MBS[j] = in.PS0[j]*in.R0[j] > in.PS1[j]*in.effR1(j)
 	}
-	fillLinear(in, alloc)
+	fillLinear(in, alloc, ws)
 	cur := totalExpectedGain(in, alloc)
 	for round := 0; round < 4; round++ {
 		improved := false
 		for j := 0; j < k; j++ {
 			alloc.MBS[j] = !alloc.MBS[j]
-			fillLinear(in, alloc)
+			fillLinear(in, alloc, ws)
 			if v := totalExpectedGain(in, alloc); v > cur+1e-12 {
 				cur = v
 				improved = true
 			} else {
 				alloc.MBS[j] = !alloc.MBS[j]
-				fillLinear(in, alloc)
+				fillLinear(in, alloc, ws)
 			}
 		}
 		if !improved {
 			break
 		}
 	}
-	return alloc, nil
 }
 
 // totalExpectedGain sums the expected quality increments of an allocation.
@@ -63,44 +80,78 @@ func totalExpectedGain(in *Instance, a *Allocation) float64 {
 
 // fillLinear greedily fills every resource in decreasing PS*R_eff order up
 // to each user's demand ceiling — the exact optimum of the linear
-// per-resource problem.
-func fillLinear(in *Instance, alloc *Allocation) {
-	k := in.K()
-	fill := func(users []int, rate func(int) float64, cap func(int) float64, set func(int, float64)) {
-		order := append([]int(nil), users...)
-		sort.SliceStable(order, func(a, b int) bool { return rate(order[a]) > rate(order[b]) })
-		budget := 1.0
-		for _, j := range order {
-			if budget <= 0 || rate(j) <= 0 {
-				break
-			}
-			share := budget
-			if c := cap(j); c >= 0 && share > c {
-				share = c
-			}
-			set(j, share)
-			budget -= share
-		}
+// per-resource problem. All scratch (the association groups and per-user
+// rates) lives on the workspace: byFBS slot 0, unused by the 1-based FBS
+// numbering, holds the MBS-associated users.
+func fillLinear(in *Instance, alloc *Allocation, ws *solveWorkspace) {
+	k, n := in.K(), in.N()
+	if cap(ws.byFBS) < n+1 {
+		ws.byFBS = make([][]int, n+1)
+	} else {
+		ws.byFBS = ws.byFBS[:n+1]
 	}
-	var mbsUsers []int
-	byFBS := make([][]int, in.N()+1)
+	groups := ws.byFBS
+	for i := range groups {
+		groups[i] = groups[i][:0]
+	}
+	rates := growF(ws.gains, k)
+	ws.gains = rates
 	for j := 0; j < k; j++ {
 		alloc.Rho0[j] = 0
 		alloc.Rho1[j] = 0
 		if alloc.MBS[j] {
-			mbsUsers = append(mbsUsers, j)
+			groups[0] = append(groups[0], j)
+			rates[j] = in.PS0[j] * in.R0[j]
 		} else {
-			byFBS[in.FBS[j]] = append(byFBS[in.FBS[j]], j)
+			groups[in.FBS[j]] = append(groups[in.FBS[j]], j)
+			rates[j] = in.PS1[j] * in.effR1(j)
 		}
 	}
-	fill(mbsUsers,
-		func(j int) float64 { return in.PS0[j] * in.R0[j] },
-		func(j int) float64 { return in.capFor(j, in.R0[j]) },
-		func(j int, rho float64) { alloc.Rho0[j] = rho })
-	for i := 1; i <= in.N(); i++ {
-		fill(byFBS[i],
-			func(j int) float64 { return in.PS1[j] * in.effR1(j) },
-			func(j int) float64 { return in.capFor(j, in.effR1(j)) },
-			func(j int, rho float64) { alloc.Rho1[j] = rho })
+	sortByKeyDesc(groups[0], rates)
+	fillGroup(in, alloc, groups[0], rates, true)
+	for i := 1; i <= n; i++ {
+		sortByKeyDesc(groups[i], rates)
+		fillGroup(in, alloc, groups[i], rates, false)
+	}
+}
+
+// fillGroup pours the unit budget over the pre-sorted users of one resource.
+func fillGroup(in *Instance, alloc *Allocation, order []int, rates []float64, mbs bool) {
+	budget := 1.0
+	for _, j := range order {
+		if budget <= 0 || rates[j] <= 0 {
+			break
+		}
+		share := budget
+		var c float64
+		if mbs {
+			c = in.capFor(j, in.R0[j])
+		} else {
+			c = in.capFor(j, in.effR1(j))
+		}
+		if c >= 0 && share > c {
+			share = c
+		}
+		if mbs {
+			alloc.Rho0[j] = share
+		} else {
+			alloc.Rho1[j] = share
+		}
+		budget -= share
+	}
+}
+
+// sortByKeyDesc stable-sorts the index slice by decreasing key, in place and
+// allocation-free. Insertion sort is stable, so ties keep their ascending
+// index order — the exact ordering the previous sort.SliceStable produced.
+func sortByKeyDesc(order []int, key []float64) {
+	for i := 1; i < len(order); i++ {
+		j := order[i]
+		p := i - 1
+		for p >= 0 && key[order[p]] < key[j] {
+			order[p+1] = order[p]
+			p--
+		}
+		order[p+1] = j
 	}
 }

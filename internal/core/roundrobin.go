@@ -13,7 +13,10 @@ type RoundRobin struct {
 	counter int
 }
 
-var _ Solver = (*RoundRobin)(nil)
+var (
+	_ Solver     = (*RoundRobin)(nil)
+	_ IntoSolver = (*RoundRobin)(nil)
+)
 
 // Name identifies the scheme.
 func (r *RoundRobin) Name() string { return "Round robin" }
@@ -23,11 +26,33 @@ func (r *RoundRobin) Solve(in *Instance) (*Allocation, error) {
 	if err := in.Validate(); err != nil {
 		return nil, err
 	}
+	alloc := NewAllocation(in.K())
+	r.solveInto(in, alloc)
+	return alloc, nil
+}
+
+// SolveInto solves into a caller-owned allocation, advancing the rotation.
+func (r *RoundRobin) SolveInto(in *Instance, out *Allocation) error {
+	if err := in.Validate(); err != nil {
+		return err
+	}
+	r.solveInto(in, out)
+	return nil
+}
+
+func (r *RoundRobin) solveInto(in *Instance, alloc *Allocation) {
 	k := in.K()
-	alloc := NewAllocation(k)
-	taken := make([]bool, k)
+	alloc.resize(k)
+	ws := getWorkspace()
+	defer putWorkspace(ws)
+	taken := growB(ws.alive, k)
+	ws.alive = taken
+	for j := range taken {
+		taken[j] = false
+	}
+	byFBS := ws.groupByFBS(in)
 	for i := 1; i <= in.N(); i++ {
-		users := in.UsersOf(i)
+		users := byFBS[i]
 		if len(users) == 0 {
 			continue
 		}
@@ -45,5 +70,4 @@ func (r *RoundRobin) Solve(in *Instance) (*Allocation, error) {
 		}
 	}
 	r.counter++
-	return alloc, nil
 }

@@ -36,8 +36,23 @@ func (u waterfillUser) rhoAt(lambda float64) float64 {
 // idle association purely for its larger success-probability weight; the
 // expectation form used here restores the intended comparison.)
 func (u waterfillUser) branchValue(lambda float64) float64 {
+	return u.branchValueLog(lambda, math.Log(u.w))
+}
+
+// branchValueLog is branchValue with the caller-cached log(w) term. The
+// solvers evaluate branch values thousands of times per solve at prices
+// that mostly leave rho at zero, where the whole expression collapses to
+// terms of log(w); caching it removes the dominant math.Log cost. The
+// result is bit-identical to branchValue: when rho is zero the original
+// computed math.Log(w + 0*r) = log(w), the exact value cached here, and
+// when rho is nonzero the same math.Log call runs on the same argument.
+func (u waterfillUser) branchValueLog(lambda, logW float64) float64 {
 	rho := u.rhoAt(lambda)
-	return u.ps*math.Log(u.w+rho*u.r) + (1-u.ps)*math.Log(u.w) - lambda*rho
+	logWG := logW
+	if rho != 0 {
+		logWG = math.Log(u.w + rho*u.r)
+	}
+	return u.ps*logWG + (1-u.ps)*logW - lambda*rho
 }
 
 // waterfill maximizes sum_j ps_j*log(w_j + rho_j*r_j) subject to
@@ -47,8 +62,20 @@ func (u waterfillUser) branchValue(lambda float64) float64 {
 // shares are zero and the price 0.
 func waterfill(users []waterfillUser, budget float64) ([]float64, float64) {
 	rho := make([]float64, len(users))
+	lambda := waterfillInto(rho, users, budget)
+	return rho, lambda
+}
+
+// waterfillInto is waterfill writing the shares into the caller-owned rho
+// buffer (len(rho) must equal len(users)), returning the supporting price.
+// The hot path calls it with workspace scratch so the per-slot solves stay
+// allocation-free.
+func waterfillInto(rho []float64, users []waterfillUser, budget float64) float64 {
+	for j := range rho {
+		rho[j] = 0
+	}
 	if budget <= 0 {
-		return rho, 0
+		return 0
 	}
 	demand := func(lambda float64) float64 {
 		total := 0.0
@@ -69,7 +96,7 @@ func waterfill(users []waterfillUser, budget float64) ([]float64, float64) {
 		}
 	}
 	if effective == 0 {
-		return rho, 0
+		return 0
 	}
 	hi := sumPS / budget
 	if demand(hi) > budget {
@@ -87,7 +114,7 @@ func waterfill(users []waterfillUser, budget float64) ([]float64, float64) {
 		for j, u := range users {
 			rho[j] = u.rhoAt(lo)
 		}
-		return rho, 0
+		return 0
 	}
 	for iter := 0; iter < 100; iter++ {
 		mid := 0.5 * (lo + hi)
@@ -119,5 +146,5 @@ func waterfill(users []waterfillUser, budget float64) ([]float64, float64) {
 			rho[j] = scaled
 		}
 	}
-	return rho, lambda
+	return lambda
 }

@@ -1,0 +1,206 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sync"
+)
+
+// solveWorkspace holds every scratch buffer one per-slot solve needs, so the
+// steady-state hot path — one solve per slot per engine, thousands of slots
+// per run — reuses the same memory instead of rebuilding ~15 slices each
+// call. Workspaces are pooled rather than stored on the solver structs:
+// solver values stay stateless (and therefore safe to share across engines
+// and goroutines), while a Get/Put pair per solve costs nanoseconds and is
+// race-free by construction.
+//
+// Ownership rule: a workspace is held for the duration of exactly one
+// Solve/SolveInto/Allocate call and released before returning. Nothing that
+// escapes to the caller (the returned Allocation, reports, traces) may alias
+// workspace memory.
+type solveWorkspace struct {
+	// Per-user water-filling views and the cached log(W_j) terms shared by
+	// every branch-value and objective evaluation of the solve.
+	u0, u1 []waterfillUser
+	logW   []float64
+	v0     []float64 // MBS branch values at the current common price
+
+	// User index lists grouped by serving FBS (index 0 unused).
+	byFBS [][]int
+
+	// Dual-subgradient state, sized nRes = N+1.
+	scale, sumPS, sumWR []float64
+	lambda, next, sums  []float64
+
+	// Water-filling scratch shared by fillCommon/fillFBS (never nested).
+	wfUsers []waterfillUser
+	wfIdx   []int
+	wfRho   []float64
+
+	// Greedy channel-allocation scratch (see greedy.go). qAlloc doubles as
+	// the brute-force solver's enumeration allocation.
+	alive     []bool
+	gains     []float64
+	trial     []float64
+	heap      []lazyEntry
+	qAlloc    Allocation
+	qInstance Instance
+}
+
+// workspacePool shares workspaces across all solver instances. sync.Pool
+// keeps one workspace per P in steady state; a GC may drop pooled entries,
+// after which the next solve regrows them once.
+var workspacePool = sync.Pool{New: func() any { return new(solveWorkspace) }}
+
+func getWorkspace() *solveWorkspace   { return workspacePool.Get().(*solveWorkspace) }
+func putWorkspace(ws *solveWorkspace) { workspacePool.Put(ws) }
+
+// growF returns a float64 slice of length n, reusing buf's backing array
+// when it is large enough. Contents are unspecified.
+func growF(buf []float64, n int) []float64 {
+	if cap(buf) >= n {
+		return buf[:n]
+	}
+	return make([]float64, n)
+}
+
+// growU is growF for waterfillUser slices.
+func growU(buf []waterfillUser, n int) []waterfillUser {
+	if cap(buf) >= n {
+		return buf[:n]
+	}
+	return make([]waterfillUser, n)
+}
+
+// growI is growF for int slices.
+func growI(buf []int, n int) []int {
+	if cap(buf) >= n {
+		return buf[:n]
+	}
+	return make([]int, n)
+}
+
+// growB is growF for bool slices.
+func growB(buf []bool, n int) []bool {
+	if cap(buf) >= n {
+		return buf[:n]
+	}
+	return make([]bool, n)
+}
+
+// prepareUsers fills the per-user views u0/u1 and the cached log(W) terms
+// for one solve. The cached values are bit-identical to what the previous
+// per-call math.Log computations produced: same function, same inputs.
+func (ws *solveWorkspace) prepareUsers(in *Instance) {
+	k := in.K()
+	ws.u0 = growU(ws.u0, k)
+	ws.u1 = growU(ws.u1, k)
+	ws.logW = growF(ws.logW, k)
+	for j := 0; j < k; j++ {
+		ws.u0[j] = in.user0(j)
+		ws.u1[j] = in.user1(j)
+		ws.logW[j] = math.Log(in.W[j])
+	}
+}
+
+// groupByFBS rebuilds the per-FBS member lists, reusing the backing arrays.
+func (ws *solveWorkspace) groupByFBS(in *Instance) [][]int {
+	n := in.N()
+	if cap(ws.byFBS) < n+1 {
+		ws.byFBS = make([][]int, n+1)
+	} else {
+		ws.byFBS = ws.byFBS[:n+1]
+	}
+	for i := range ws.byFBS {
+		ws.byFBS[i] = ws.byFBS[i][:0]
+	}
+	for j, f := range in.FBS {
+		ws.byFBS[f] = append(ws.byFBS[f], j)
+	}
+	return ws.byFBS
+}
+
+// resize makes the allocation hold k users, reusing backing arrays and
+// zeroing every entry.
+func (a *Allocation) resize(k int) {
+	a.MBS = growB(a.MBS, k)
+	a.Rho0 = growF(a.Rho0, k)
+	a.Rho1 = growF(a.Rho1, k)
+	for j := 0; j < k; j++ {
+		a.MBS[j] = false
+		a.Rho0[j] = 0
+		a.Rho1[j] = 0
+	}
+}
+
+// objectiveCached is Allocation.Objective with the per-user log(W) terms
+// precomputed. It is bit-identical to Objective: a zero gain reuses the
+// cached log(W) exactly as math.Log(W+0) would, and a nonzero gain performs
+// the same math.Log call on the same argument.
+func objectiveCached(in *Instance, a *Allocation, logW []float64) float64 {
+	total := 0.0
+	for j := 0; j < in.K(); j++ {
+		lw := logW[j]
+		var ps, gain float64
+		if a.MBS[j] {
+			ps = in.PS0[j]
+			gain = in.clampGain(j, a.Rho0[j]*in.R0[j])
+		} else {
+			ps = in.PS1[j]
+			gain = in.clampGain(j, a.Rho1[j]*in.effR1(j))
+		}
+		lwg := lw
+		if gain != 0 {
+			lwg = math.Log(in.W[j] + gain)
+		}
+		total += ps*lwg + (1-ps)*lw
+	}
+	return total
+}
+
+// feasibleCached is Allocation.Feasible on workspace scratch: identical
+// checks without the per-call slice allocation.
+func feasibleCached(in *Instance, a *Allocation, ws *solveWorkspace, tol float64) error {
+	k := in.K()
+	if len(a.MBS) != k || len(a.Rho0) != k || len(a.Rho1) != k {
+		return fmt.Errorf("%w: allocation sized for %d users, instance has %d", ErrBadInstance, len(a.MBS), k)
+	}
+	sum0 := 0.0
+	ws.sums = growF(ws.sums, in.N())
+	sumI := ws.sums
+	for i := range sumI {
+		sumI[i] = 0
+	}
+	for j := 0; j < k; j++ {
+		if a.Rho0[j] < -tol || a.Rho1[j] < -tol {
+			return fmt.Errorf("%w: negative share for user %d", ErrBadInstance, j)
+		}
+		if a.MBS[j] && a.Rho1[j] > tol {
+			return fmt.Errorf("%w: user %d on MBS holds FBS share %v", ErrBadInstance, j, a.Rho1[j])
+		}
+		if !a.MBS[j] && a.Rho0[j] > tol {
+			return fmt.Errorf("%w: user %d on FBS holds MBS share %v", ErrBadInstance, j, a.Rho0[j])
+		}
+		sum0 += a.Rho0[j]
+		sumI[in.FBS[j]-1] += a.Rho1[j]
+	}
+	if sum0 > 1+tol {
+		return fmt.Errorf("%w: common-channel shares sum to %v", ErrBadInstance, sum0)
+	}
+	for i, s := range sumI {
+		if s > 1+tol {
+			return fmt.Errorf("%w: FBS %d shares sum to %v", ErrBadInstance, i+1, s)
+		}
+	}
+	return nil
+}
+
+// IntoSolver is implemented by solvers that can write the allocation into a
+// caller-owned buffer, letting per-slot callers (the simulation engine, the
+// greedy allocator's Q evaluations) reuse one Allocation instead of
+// allocating a fresh one per solve. The buffer is resized and zeroed; any
+// previous contents are discarded.
+type IntoSolver interface {
+	Solver
+	SolveInto(in *Instance, out *Allocation) error
+}

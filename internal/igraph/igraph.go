@@ -25,6 +25,10 @@ var ErrSelfLoop = errors.New("igraph: self loops not allowed")
 type Graph struct {
 	n   int
 	adj []map[int]bool
+	// nbr mirrors adj as sorted neighbor lists, maintained incrementally at
+	// edge insertion so Neighbors is an allocation-free lookup on the greedy
+	// allocator's per-slot path instead of a per-call build-and-sort.
+	nbr [][]int
 }
 
 // New creates an edgeless graph with n vertices.
@@ -36,7 +40,7 @@ func New(n int) *Graph {
 	for i := range adj {
 		adj[i] = make(map[int]bool)
 	}
-	return &Graph{n: n, adj: adj}
+	return &Graph{n: n, adj: adj, nbr: make([][]int, n)}
 }
 
 // FromCoverage derives the interference graph of a deployment: vertices are
@@ -46,8 +50,7 @@ func FromCoverage(disks []geometry.Disk) *Graph {
 	for i := 0; i < len(disks); i++ {
 		for j := i + 1; j < len(disks); j++ {
 			if disks[i].Overlaps(disks[j]) {
-				g.adj[i][j] = true
-				g.adj[j][i] = true
+				g.link(i, j)
 			}
 		}
 	}
@@ -88,9 +91,29 @@ func (g *Graph) AddEdge(u, v int) error {
 	if u == v {
 		return fmt.Errorf("%w: %d", ErrSelfLoop, u)
 	}
+	g.link(u, v)
+	return nil
+}
+
+// link records the validated undirected edge (u, v) in both the adjacency
+// maps and the sorted neighbor lists. Duplicate edges are ignored.
+func (g *Graph) link(u, v int) {
+	if g.adj[u][v] {
+		return
+	}
 	g.adj[u][v] = true
 	g.adj[v][u] = true
-	return nil
+	g.nbr[u] = insertSorted(g.nbr[u], v)
+	g.nbr[v] = insertSorted(g.nbr[v], u)
+}
+
+// insertSorted inserts v into the ascending slice s, keeping it sorted.
+func insertSorted(s []int, v int) []int {
+	i := sort.SearchInts(s, v)
+	s = append(s, 0)
+	copy(s[i+1:], s[i:])
+	s[i] = v
+	return s
 }
 
 // HasEdge reports whether u and v interfere. Out-of-range vertices never
@@ -102,17 +125,13 @@ func (g *Graph) HasEdge(u, v int) bool {
 	return g.adj[u][v]
 }
 
-// Neighbors returns R(u): the sorted vertices adjacent to u.
+// Neighbors returns R(u): the sorted vertices adjacent to u. The returned
+// slice is the graph's own cached list — callers must treat it as read-only.
 func (g *Graph) Neighbors(u int) []int {
 	if u < 0 || u >= g.n {
 		return nil
 	}
-	out := make([]int, 0, len(g.adj[u]))
-	for v := range g.adj[u] {
-		out = append(out, v)
-	}
-	sort.Ints(out)
-	return out
+	return g.nbr[u]
 }
 
 // Degree returns the number of neighbors of u, or 0 for invalid vertices.

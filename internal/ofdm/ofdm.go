@@ -65,6 +65,13 @@ func (c *Channel) Subcarriers() int { return c.subcarriers }
 // correlation corr between neighbors.
 func (c *Channel) SampleGains(s *rng.Stream) []float64 {
 	gains := make([]float64, c.subcarriers)
+	c.SampleGainsInto(gains, s)
+	return gains
+}
+
+// SampleGainsInto is SampleGains writing into a caller-owned buffer of
+// length Subcarriers(), for hot loops that reuse one gains slice.
+func (c *Channel) SampleGainsInto(gains []float64, s *rng.Stream) {
 	// Complex Gaussian with E|h|^2 = 1: each quadrature N(0, 1/2).
 	const sigma = 0.7071067811865476
 	re := s.Normal(0, sigma)
@@ -77,7 +84,6 @@ func (c *Channel) SampleGains(s *rng.Stream) []float64 {
 		im = rho*im + innov*s.Normal(0, sigma)
 		gains[i] = re*re + im*im
 	}
-	return gains
 }
 
 // EffectiveSINR maps per-subcarrier SINRs (linear) to the EESM effective
@@ -157,9 +163,19 @@ func NewGainModel(ch *Channel, meanSINRdB float64, samples int, stream *rng.Stre
 	return m, nil
 }
 
-// draw samples one normalized effective gain.
+// draw samples one normalized effective gain. The gains buffer lives on the
+// stack (for realistic subcarrier counts) rather than on the model: a
+// GainModel is shared by every link of a network, including across
+// concurrently simulated runs, so it must hold no mutable scratch.
 func (m *GainModel) draw(s *rng.Stream) float64 {
-	gains := m.ch.SampleGains(s)
+	var buf [64]float64
+	var gains []float64
+	if m.ch.subcarriers <= len(buf) {
+		gains = buf[:m.ch.subcarriers]
+	} else {
+		gains = make([]float64, m.ch.subcarriers)
+	}
+	m.ch.SampleGainsInto(gains, s)
 	for i := range gains {
 		gains[i] *= m.meanSINR
 	}

@@ -1,0 +1,62 @@
+// Package profiling wires the standard runtime/pprof file profiles into
+// the command-line tools. Both cmd/figures and cmd/femtosim expose
+// -cpuprofile and -memprofile flags backed by Start, so a hot-path
+// regression can be pinned down with
+//
+//	go run ./cmd/femtosim -scenario interfering -cpuprofile cpu.out
+//	go tool pprof cpu.out
+//
+// without touching the benchmark harness.
+package profiling
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins the profiles selected by the (possibly empty) file names:
+// a CPU profile streamed to cpuFile and a heap profile written to memFile
+// when the returned stop function runs. Call stop exactly once on every
+// exit path — it finishes the CPU profile, forces a GC so the heap profile
+// reflects the final live set, and reports the first write error.
+func Start(cpuFile, memFile string) (stop func() error, err error) {
+	var cpu *os.File
+	if cpuFile != "" {
+		cpu, err = os.Create(cpuFile)
+		if err != nil {
+			return nil, fmt.Errorf("profiling: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpu); err != nil {
+			_ = cpu.Close() // the StartCPUProfile failure is the error to report
+			return nil, fmt.Errorf("profiling: %w", err)
+		}
+	}
+	return func() error {
+		var first error
+		if cpu != nil {
+			pprof.StopCPUProfile()
+			if err := cpu.Close(); err != nil {
+				first = fmt.Errorf("profiling: %w", err)
+			}
+		}
+		if memFile != "" {
+			f, err := os.Create(memFile)
+			if err != nil {
+				if first == nil {
+					first = fmt.Errorf("profiling: %w", err)
+				}
+				return first
+			}
+			runtime.GC() // settle the heap so the profile shows live data
+			if err := pprof.WriteHeapProfile(f); err != nil && first == nil {
+				first = fmt.Errorf("profiling: %w", err)
+			}
+			if err := f.Close(); err != nil && first == nil {
+				first = fmt.Errorf("profiling: %w", err)
+			}
+		}
+		return first
+	}, nil
+}

@@ -59,6 +59,18 @@ func Assign(policy AssignmentPolicy, numSensors, m, slot int, s *rng.Stream) ([]
 		return nil, fmt.Errorf("%w: numSensors=%d M=%d", ErrBadAssignment, numSensors, m)
 	}
 	out := make([]int, numSensors)
+	if err := AssignInto(out, policy, m, slot, s); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// AssignInto is Assign writing into a caller-owned buffer whose length gives
+// the sensor count, for per-slot loops that reuse one assignment slice.
+func AssignInto(out []int, policy AssignmentPolicy, m, slot int, s *rng.Stream) error {
+	if m <= 0 {
+		return fmt.Errorf("%w: numSensors=%d M=%d", ErrBadAssignment, len(out), m)
+	}
 	switch policy {
 	case RoundRobin, UncertaintyDriven:
 		// UncertaintyDriven needs beliefs; without them (this generic entry
@@ -68,23 +80,23 @@ func Assign(policy AssignmentPolicy, numSensors, m, slot int, s *rng.Stream) ([]
 		}
 	case RandomAssign:
 		if s == nil {
-			return nil, fmt.Errorf("%w: random policy needs a stream", ErrBadAssignment)
+			return fmt.Errorf("%w: random policy needs a stream", ErrBadAssignment)
 		}
 		for i := range out {
 			out[i] = s.IntN(m) + 1
 		}
 	case Stratified:
 		if s == nil {
-			return nil, fmt.Errorf("%w: stratified policy needs a stream", ErrBadAssignment)
+			return fmt.Errorf("%w: stratified policy needs a stream", ErrBadAssignment)
 		}
 		perm := s.Perm(m)
 		for i := range out {
 			out[i] = perm[i%m] + 1
 		}
 	default:
-		return nil, fmt.Errorf("%w: unknown policy %d", ErrBadAssignment, int(policy))
+		return fmt.Errorf("%w: unknown policy %d", ErrBadAssignment, int(policy))
 	}
-	return out, nil
+	return nil
 }
 
 // AssignByUncertainty assigns sensors to the channels with the most

@@ -113,6 +113,18 @@ func NewFuser(eta float64) (*Fuser, error) {
 	return &Fuser{oddsBusy: eta / (1 - eta)}, nil
 }
 
+// Reset restarts the fusion with a new utilization prior, reusing the Fuser.
+// It is the allocation-free equivalent of NewFuser for per-slot loops that
+// keep one Fuser per channel.
+func (f *Fuser) Reset(eta float64) error {
+	if eta < 0 || eta >= 1 {
+		return fmt.Errorf("%w: eta=%v", ErrBadPrior, eta)
+	}
+	f.oddsBusy = eta / (1 - eta)
+	f.count = 0
+	return nil
+}
+
 // Update folds one observation into the posterior; this is one application
 // of eq. (4) (or eq. (3) for the first observation). Certainty is
 // absorbing: once the odds are exactly 0 (certainly idle) or infinite

@@ -9,7 +9,7 @@ import (
 	"femtocr/internal/netmodel"
 )
 
-func benchNet(b *testing.B, interfering bool) *netmodel.Network {
+func benchNet(b testing.TB, interfering bool) *netmodel.Network {
 	b.Helper()
 	var (
 		net *netmodel.Network
@@ -28,6 +28,7 @@ func benchNet(b *testing.B, interfering bool) *netmodel.Network {
 
 func benchRun(b *testing.B, net *netmodel.Network, opts Options) {
 	b.Helper()
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		opts.Seed = uint64(i) + 1
 		opts.GOPs = 1
@@ -35,6 +36,40 @@ func benchRun(b *testing.B, net *netmodel.Network, opts Options) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// benchSlotStep measures the steady-state cost of one simulated slot: the
+// engine is built once outside the timer, then stepped b.N slots. This is
+// the hot path BENCH_hotpath.json tracks for allocation regressions — after
+// engine construction the per-slot loop should be allocation-free.
+func benchSlotStep(b *testing.B, interfering bool, opts Options) {
+	b.Helper()
+	net := benchNet(b, interfering)
+	opts.Seed = 1
+	opts.GOPs = 1
+	e, err := newEngine(net, opts.withDefaults())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := e.step(i); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSlotStepProposedSingle(b *testing.B) {
+	benchSlotStep(b, false, Options{Scheme: Proposed})
+}
+
+func BenchmarkSlotStepProposedSingleDualSolver(b *testing.B) {
+	benchSlotStep(b, false, Options{Scheme: Proposed, UseDualSolver: true})
+}
+
+func BenchmarkSlotStepProposedInterfering(b *testing.B) {
+	benchSlotStep(b, true, Options{Scheme: Proposed})
 }
 
 func BenchmarkGOPProposedSingle(b *testing.B) {

@@ -25,6 +25,18 @@ type Frontend struct {
 	sensorPolicy sensing.AssignmentPolicy
 	beliefs      *belief.Tracker
 	estimators   []*sensing.UtilizationEstimator
+
+	// Per-slot scratch, sized once at construction so the steady-state Step
+	// is allocation-free. The SlotState handed out aliases these buffers and
+	// is valid only until the next Step.
+	priors     []float64       //femtovet:index channel
+	posteriors []float64       //femtovet:index channel
+	fusers     []sensing.Fuser //femtovet:index channel
+	assignment []int
+	accessed   []int
+	accessedPA []float64
+	decision   access.SlotDecision
+	state      SlotState
 }
 
 // NewFrontend builds the front half from a validated network and the run's
@@ -37,15 +49,22 @@ func NewFrontend(net *netmodel.Network, root *rng.Stream, sensorPolicy sensing.A
 	if sensorPolicy == 0 {
 		sensorPolicy = sensing.RoundRobin
 	}
+	m := net.Band.M()
 	return &Frontend{
 		net:          net,
 		policy:       pol,
-		tracker:      access.NewCollisionTracker(net.Band.M()),
+		tracker:      access.NewCollisionTracker(m),
 		specSim:      spectrum.NewSimulator(net.Band, root.Split("occupancy")),
 		senseStream:  root.Split("sensing"),
 		accessStream: root.Split("access"),
 		assignStream: root.Split("assignment"),
 		sensorPolicy: sensorPolicy,
+		priors:       make([]float64, m),
+		posteriors:   make([]float64, m),
+		fusers:       make([]sensing.Fuser, m),
+		assignment:   make([]int, net.K()),
+		accessed:     make([]int, 0, m),
+		accessedPA:   make([]float64, 0, m),
 	}, nil
 }
 
@@ -75,7 +94,9 @@ func (f *Frontend) EnableUtilizationEstimation() error {
 	return nil
 }
 
-// SlotState is the front half's output for one slot.
+// SlotState is the front half's output for one slot. Instances returned by
+// Step alias the frontend's reusable buffers: consume them within the slot,
+// before the next Step overwrites them.
 type SlotState struct {
 	// Truth is the realized occupancy of the licensed channels.
 	Truth spectrum.Occupancy
@@ -90,18 +111,19 @@ type SlotState struct {
 
 // Step advances occupancy one slot, senses every channel (all FBS antennas
 // plus one channel per user), fuses the results, and draws the access
-// decision.
+// decision. The returned SlotState and every slice it holds alias the
+// frontend's reusable buffers and are valid only until the next Step.
 func (f *Frontend) Step(slot int) (*SlotState, error) {
 	net := f.net
 	m := net.Band.M()
-	truth := f.specSim.Step()
+	truth := f.specSim.StepInPlace()
 
 	if f.beliefs != nil {
 		f.beliefs.Predict()
 	}
-	priors := make([]float64, m)
-	posteriors := make([]float64, m)
-	fusers := make([]*sensing.Fuser, m)
+	priors := f.priors
+	posteriors := f.posteriors
+	fusers := f.fusers
 	for ch := 1; ch <= m; ch++ {
 		prior := net.Band.Utilization(ch)
 		switch {
@@ -126,11 +148,9 @@ func (f *Frontend) Step(slot int) (*SlotState, error) {
 			}
 		}
 		priors[ch-1] = prior
-		fu, err := sensing.NewFuser(prior)
-		if err != nil {
+		if err := fusers[ch-1].Reset(prior); err != nil {
 			return nil, err
 		}
-		fusers[ch-1] = fu
 	}
 	// FBS sensing: each FBS points its antennas at a rotating window of
 	// channels (all of them at the paper's default of M antennas).
@@ -155,11 +175,14 @@ func (f *Frontend) Step(slot int) (*SlotState, error) {
 			}
 		}
 		assignment, err = sensing.AssignByUncertainty(net.K(), busy)
+		if err != nil {
+			return nil, err
+		}
 	} else {
-		assignment, err = sensing.Assign(f.sensorPolicy, net.K(), m, slot, f.assignStream)
-	}
-	if err != nil {
-		return nil, err
+		assignment = f.assignment
+		if err := sensing.AssignInto(assignment, f.sensorPolicy, m, slot, f.assignStream); err != nil {
+			return nil, err
+		}
 	}
 	for _, ch := range assignment {
 		fusers[ch-1].Update(net.Detector.Sense(truth[ch-1], f.senseStream))
@@ -173,19 +196,21 @@ func (f *Frontend) Step(slot int) (*SlotState, error) {
 		}
 	}
 
-	decision := f.policy.Decide(priors, posteriors, f.accessStream)
-	f.tracker.Record(decision, truth)
-	accessed := decision.Available()
-	accessedPA := make([]float64, len(accessed))
-	for i, ch := range accessed {
-		accessedPA[i] = decision.Channels[ch-1].Posterior
+	f.policy.DecideInto(priors, posteriors, f.accessStream, &f.decision)
+	f.tracker.Record(f.decision, truth)
+	f.accessed = f.decision.AppendAvailable(f.accessed[:0])
+	accessed := f.accessed
+	f.accessedPA = f.accessedPA[:0]
+	for _, ch := range accessed {
+		f.accessedPA = append(f.accessedPA, f.decision.Channels[ch-1].Posterior)
 	}
-	return &SlotState{
+	f.state = SlotState{
 		Truth:      truth,
-		Decision:   decision,
+		Decision:   f.decision,
 		Accessed:   accessed,
-		AccessedPA: accessedPA,
-	}, nil
+		AccessedPA: f.accessedPA,
+	}
+	return &f.state, nil
 }
 
 // CollisionRate returns the worst realized per-channel conditional collision

@@ -1,0 +1,9 @@
+//go:build race
+
+package sim
+
+// raceEnabled reports whether this test binary was built with the race
+// detector. Allocation-count pins are skipped under it: sync.Pool
+// deliberately drops cached items in race mode, so steady-state counts are
+// not meaningful there.
+const raceEnabled = true

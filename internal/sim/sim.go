@@ -207,6 +207,25 @@ type engine struct {
 	colorOf   []int
 	numColors int
 
+	// Reusable per-slot state: the instance snapshot (instW/instG are its
+	// backing arrays), the shallow view handed out by withG, the channel
+	// vectors, the static assignment lists, the realized gains, and the
+	// allocations written by SolveInto. All are owned by this engine and
+	// overwritten every slot; the engine is single-goroutine by design.
+	inst       core.Instance
+	instView   core.Instance
+	instW      []float64
+	instG      []float64
+	gVec       []float64
+	relaxG     []float64
+	assigned   [][]int
+	gains      []float64
+	alloc      *core.Allocation
+	relaxAlloc *core.Allocation
+	inflate    *core.Allocation
+	chanProb   core.ChannelProblem
+	intoSolver core.IntoSolver // non-nil when solver supports SolveInto
+
 	dualTrace [][]float64
 	sumG      float64
 	slots     int
@@ -287,7 +306,34 @@ func newEngine(net *netmodel.Network, opts Options) (*engine, error) {
 	// coordination: color the interference graph and let channel m serve
 	// the FBSs of color (m mod numColors). Adjacent FBSs never share.
 	e.colorOf, e.numColors = net.Graph.GreedyColoring()
+
+	// Preallocate the per-slot buffers once.
+	e.instW = make([]float64, k)
+	e.instG = make([]float64, net.NumFBS)
+	e.inst = core.Instance{
+		W: e.instW, R0: e.r0, R1: e.r1, PS0: e.ps0, PS1: e.ps1,
+		FBS: e.fbsOf, G: e.instG, WMax: e.wmax,
+	}
+	e.gVec = make([]float64, net.NumFBS)
+	e.relaxG = make([]float64, net.NumFBS)
+	e.assigned = make([][]int, net.NumFBS)
+	e.gains = make([]float64, k)
+	e.alloc = core.NewAllocation(k)
+	e.relaxAlloc = core.NewAllocation(k)
+	if opts.TrackBound {
+		e.inflate = core.NewAllocation(k)
+	}
+	e.intoSolver, _ = e.solver.(core.IntoSolver)
 	return e, nil
+}
+
+// withG returns the slot instance with a different expected-channel vector,
+// on the engine's reusable shallow view. Each use ends before the next: the
+// returned pointer must not be kept across withG calls.
+func (e *engine) withG(g []float64) *core.Instance {
+	e.instView = e.inst
+	e.instView.G = g
+	return &e.instView
 }
 
 // step simulates one time slot.
@@ -313,12 +359,13 @@ func (e *engine) step(slot int) error {
 	var bound float64
 	switch {
 	case e.opts.Scheme == Proposed && e.interfering:
-		res, err := e.greedy.Allocate(&core.ChannelProblem{
+		e.chanProb = core.ChannelProblem{
 			Base:       inst,
 			Graph:      net.Graph,
 			Channels:   accessed,
 			Posteriors: accessedPA,
-		})
+		}
+		res, err := e.greedy.Allocate(&e.chanProb)
 		if err != nil {
 			return err
 		}
@@ -333,12 +380,17 @@ func (e *engine) step(slot int) error {
 			for _, pa := range accessedPA {
 				totalPA += pa
 			}
-			relaxG := make([]float64, net.NumFBS)
+			relaxG := e.relaxG
 			for i := range relaxG {
 				relaxG[i] = totalPA
 			}
-			relaxed := inst.WithG(relaxG)
-			relaxAlloc, err := e.solver.Solve(relaxed)
+			relaxed := e.withG(relaxG)
+			relaxAlloc := e.relaxAlloc
+			if e.intoSolver != nil {
+				err = e.intoSolver.SolveInto(relaxed, relaxAlloc)
+			} else {
+				relaxAlloc, err = e.solver.Solve(relaxed)
+			}
 			if err != nil {
 				return err
 			}
@@ -347,23 +399,31 @@ func (e *engine) step(slot int) error {
 			}
 		}
 		// Transmission realization needs the channel->FBS map.
-		gains := e.realize(inst.WithG(gVec), alloc, res.Assigned, truth)
+		gains := e.realize(e.withG(gVec), alloc, res.Assigned, truth)
 		e.record(slot, st, alloc, gains)
 		if e.opts.TrackBound {
-			e.trackBound(inst.WithG(gVec), alloc, res.Value, bound, res.Assigned, truth)
+			e.trackBound(e.withG(gVec), alloc, res.Value, bound, res.Assigned, truth)
 		}
 	default:
 		// Non-interfering (or heuristic frequency plan): channel m serves
 		// the FBSs its color class allows.
 		assigned := e.staticAssignment(accessed)
-		gVec = make([]float64, net.NumFBS)
+		gVec = e.gVec
+		for i := range gVec {
+			gVec[i] = 0
+		}
 		for i := range assigned {
 			for _, ch := range assigned[i] {
 				gVec[i] += decision.Channels[ch-1].Posterior
 			}
 		}
-		withG := inst.WithG(gVec)
-		alloc, err = e.solver.Solve(withG)
+		withG := e.withG(gVec)
+		if e.intoSolver != nil {
+			alloc = e.alloc
+			err = e.intoSolver.SolveInto(withG, alloc)
+		} else {
+			alloc, err = e.solver.Solve(withG)
+		}
 		if err != nil {
 			return err
 		}
@@ -389,7 +449,7 @@ func (e *engine) step(slot int) error {
 		if g == nil {
 			g = make([]float64, net.NumFBS)
 		}
-		_, report, err := tracer.SolveDetailed(inst.WithG(g))
+		_, report, err := tracer.SolveDetailed(e.withG(g))
 		if err != nil {
 			return err
 		}
@@ -453,10 +513,13 @@ func (e *engine) record(slot int, st *SlotState, alloc *core.Allocation, gains [
 // greedy-coloring frequency plan.
 func (e *engine) staticAssignment(accessed []int) [][]int {
 	n := e.net.NumFBS
-	assigned := make([][]int, n)
+	assigned := e.assigned
+	for i := range assigned {
+		assigned[i] = assigned[i][:0]
+	}
 	if !e.interfering {
 		for i := 0; i < n; i++ {
-			assigned[i] = append([]int(nil), accessed...)
+			assigned[i] = append(assigned[i], accessed...)
 		}
 		return assigned
 	}
@@ -471,23 +534,17 @@ func (e *engine) staticAssignment(accessed []int) [][]int {
 	return assigned
 }
 
-// instance snapshots the slot's user problem.
+// instance refreshes the slot's user problem on the engine's reusable
+// snapshot: only W changes between slots; G is the zero vector until a
+// channel allocation assigns one via withG.
 func (e *engine) instance() *core.Instance {
-	k := e.net.K()
-	w := make([]float64, k)
-	for j := range w {
-		w[j] = e.progress[j].PSNR()
+	for j := range e.instW {
+		e.instW[j] = e.progress[j].PSNR()
 	}
-	return &core.Instance{
-		W:    w,
-		R0:   e.r0,
-		R1:   e.r1,
-		PS0:  e.ps0,
-		PS1:  e.ps1,
-		FBS:  e.fbsOf,
-		G:    make([]float64, e.net.NumFBS),
-		WMax: e.wmax,
+	for i := range e.instG {
+		e.instG[i] = 0
 	}
+	return &e.inst
 }
 
 // realize draws the slot's packet-loss outcomes and credits delivered video
@@ -496,7 +553,10 @@ func (e *engine) instance() *core.Instance {
 // that are truly idle (transmissions on busy channels collide and are
 // lost). It returns the realized per-user quality increments.
 func (e *engine) realize(in *core.Instance, alloc *core.Allocation, assigned [][]int, truth spectrum.Occupancy) []float64 {
-	gains := make([]float64, in.K())
+	gains := e.gains
+	for j := range gains {
+		gains[j] = 0
+	}
 	for j := 0; j < in.K(); j++ {
 		if alloc.MBS[j] {
 			if alloc.Rho0[j] > 0 && !e.net.Users[j].MBSLink.Lost(e.fadeStream) {
@@ -523,7 +583,7 @@ func (e *engine) realize(in *core.Instance, alloc *core.Allocation, assigned [][
 // user's expected gain by the common factor theta >= 1 that makes the
 // objective meet the bound, then applying the same realization discipline.
 func (e *engine) trackBound(in *core.Instance, alloc *core.Allocation, value, upper float64, assigned [][]int, truth spectrum.Occupancy) {
-	theta := gainInflation(in, alloc, value, upper)
+	theta := gainInflation(in, alloc, value, upper, e.inflate)
 	for j := 0; j < in.K(); j++ {
 		gain := 0.0
 		if alloc.MBS[j] {
@@ -547,12 +607,17 @@ func (e *engine) trackBound(in *core.Instance, alloc *core.Allocation, value, up
 
 // gainInflation finds theta >= 1 such that inflating every user's allocated
 // quality increment by theta lifts the slot objective from value to upper.
-func gainInflation(in *core.Instance, alloc *core.Allocation, value, upper float64) float64 {
+// scratch, when non-nil, is a k-sized allocation reused across the ~100
+// bisection evaluations; every entry is overwritten before being read.
+func gainInflation(in *core.Instance, alloc *core.Allocation, value, upper float64, scratch *core.Allocation) float64 {
 	if upper <= value {
 		return 1
 	}
+	if scratch == nil {
+		scratch = core.NewAllocation(in.K())
+	}
 	obj := func(theta float64) float64 {
-		cp := core.NewAllocation(in.K())
+		cp := scratch
 		copy(cp.MBS, alloc.MBS)
 		for j := range cp.Rho0 {
 			cp.Rho0[j] = alloc.Rho0[j] * theta

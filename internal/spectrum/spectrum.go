@@ -143,11 +143,18 @@ func (s *Simulator) Slot() int { return s.slot }
 // copy; mutating it does not affect the simulator.
 func (s *Simulator) Occupancy() Occupancy { return s.state.Clone() }
 
-// Step advances every channel one slot and returns the new occupancy.
+// Step advances every channel one slot and returns the new occupancy. The
+// returned slice is a copy the caller may keep.
 func (s *Simulator) Step() Occupancy {
+	return s.StepInPlace().Clone()
+}
+
+// StepInPlace is Step returning the simulator's own state vector, valid only
+// until the next Step; per-slot loops use it to avoid the per-call copy.
+func (s *Simulator) StepInPlace() Occupancy {
 	for i := range s.state {
 		s.state[i] = s.band.chains[i].Next(s.state[i], s.streams[i])
 	}
 	s.slot++
-	return s.state.Clone()
+	return s.state
 }

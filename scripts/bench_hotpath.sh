@@ -1,0 +1,90 @@
+#!/usr/bin/env bash
+# Benchmark the per-slot hot path and compare it against the checked-in
+# pre-optimization baseline, benchstat-style. Runs the core solver and sim
+# slot-stepping benchmarks with -benchmem, pairs each result with the same
+# benchmark in scripts/bench_hotpath_baseline.txt (raw `go test -bench`
+# output recorded at the last commit before the workspace/pooling rework),
+# and emits BENCH_hotpath.json with ns/op, B/op, and allocs/op before and
+# after plus the fractional reductions. CI uploads the JSON as an artifact
+# on every run.
+#
+# The headline rows are the zero-allocation targets: DualSolver.Solve and
+# the sim slot step must show >= 50% fewer allocs/op and >= 20% lower
+# ns/op than the baseline.
+#
+# Usage: scripts/bench_hotpath.sh [output.json]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_hotpath.json}"
+core_benchtime="${FEMTOCR_BENCHTIME:-50x}"
+sim_benchtime="${FEMTOCR_BENCHTIME:-20x}"
+baseline="scripts/bench_hotpath_baseline.txt"
+
+raw=$(
+    go test -run '^$' -benchmem -benchtime "$core_benchtime" \
+        -bench 'BenchmarkDualSolver$|BenchmarkEquilibriumSolver$|BenchmarkGreedyLazy$|BenchmarkHeuristic1$|BenchmarkHeuristic2$|BenchmarkWaterfill$' \
+        ./internal/core/
+    go test -run '^$' -benchmem -benchtime "$sim_benchtime" \
+        -bench 'BenchmarkSlotStep|BenchmarkGOPProposedSingle$|BenchmarkGOPProposedInterfering$' \
+        ./internal/sim/
+)
+echo "$raw"
+
+awk -v out="$out" -v core_benchtime="$core_benchtime" -v sim_benchtime="$sim_benchtime" \
+    -v cpus="$(nproc)" -v gomaxprocs="${GOMAXPROCS:-$(nproc)}" '
+# Parse one `go test -bench` result line: name, then value/unit pairs.
+# Field positions vary (custom metrics like Q_evals appear mid-line), so
+# units are located by scanning, and the CPU-count suffix (-8) is stripped
+# for stable keys.
+function parse(line, dest,    f, n, i, name) {
+    n = split(line, f, /[ \t]+/)
+    name = f[1]
+    sub(/-[0-9]+$/, "", name)
+    sub(/^Benchmark/, "", name)
+    for (i = 3; i <= n; i++) {
+        if (f[i] == "ns/op")     dest[name, "ns"]     = f[i-1]
+        if (f[i] == "B/op")      dest[name, "bytes"]  = f[i-1]
+        if (f[i] == "allocs/op") dest[name, "allocs"] = f[i-1]
+    }
+    if (!((name) in seen)) { order[++count] = name; seen[name] = 1 }
+}
+FILENAME == baseline && /^Benchmark/ { parse($0, before); next }
+FILENAME != baseline && /^Benchmark/ { parse($0, after); next }
+FILENAME != baseline && /^cpu:/ { sub(/^cpu: /, ""); cpu = $0 }
+FILENAME != baseline && /^goos:/ { goos = $2 }
+FILENAME != baseline && /^goarch:/ { goarch = $2 }
+END {
+    printf "{\n" > out
+    printf "  \"goos\": \"%s\",\n", goos > out
+    printf "  \"goarch\": \"%s\",\n", goarch > out
+    printf "  \"cpu\": \"%s\",\n", cpu > out
+    printf "  \"cpus\": %d,\n", cpus > out
+    printf "  \"gomaxprocs\": %d,\n", gomaxprocs > out
+    printf "  \"benchtime_core\": \"%s\",\n", core_benchtime > out
+    printf "  \"benchtime_sim\": \"%s\",\n", sim_benchtime > out
+    printf "  \"baseline\": \"scripts/bench_hotpath_baseline.txt\",\n" > out
+    printf "  \"results\": [\n" > out
+    emitted = 0
+    for (i = 1; i <= count; i++) {
+        name = order[i]
+        if (!((name, "ns") in before) || !((name, "ns") in after)) continue
+        if (emitted++) printf ",\n" > out
+        printf "    {\"name\": \"%s\",\n", name > out
+        printf "     \"before\": {\"ns_per_op\": %.1f, \"bytes_per_op\": %d, \"allocs_per_op\": %d},\n", \
+            before[name, "ns"], before[name, "bytes"], before[name, "allocs"] > out
+        printf "     \"after\":  {\"ns_per_op\": %.1f, \"bytes_per_op\": %d, \"allocs_per_op\": %d},\n", \
+            after[name, "ns"], after[name, "bytes"], after[name, "allocs"] > out
+        printf "     \"ns_reduction\": %.3f,\n", \
+            1 - after[name, "ns"] / before[name, "ns"] > out
+        allocs_red = (before[name, "allocs"] > 0) ? 1 - after[name, "allocs"] / before[name, "allocs"] : 0
+        printf "     \"allocs_reduction\": %.3f}", allocs_red > out
+    }
+    printf "\n  ]\n}\n" > out
+    if (emitted == 0) {
+        print "bench_hotpath.sh: no benchmark pairs matched the baseline" > "/dev/stderr"
+        exit 1
+    }
+}
+' baseline="$baseline" "$baseline" <(echo "$raw")
+echo "wrote $out"

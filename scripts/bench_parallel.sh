@@ -7,7 +7,10 @@
 # The engine guarantees bitwise-identical output for any worker count, so
 # the speedup is pure schedule: on a single-core machine it sits at or
 # slightly below 1.0 (pool overhead), on a 4-core machine it should reach
-# at least 2x. CI uploads the JSON as an artifact on every run.
+# at least 2x. The JSON records the machine's CPU budget ("cpus",
+# "gomaxprocs") so a flat ratio can be told apart from a real scaling
+# regression: speedup is capped by min(workers, cpus). CI uploads the JSON
+# as an artifact on every run.
 #
 # Usage: scripts/bench_parallel.sh [output.json]
 set -euo pipefail
@@ -20,7 +23,8 @@ raw=$(go test -run '^$' -bench 'BenchmarkFig5Quick' -benchtime "$benchtime" \
     ./internal/experiments/)
 echo "$raw"
 
-echo "$raw" | awk -v out="$out" -v benchtime="$benchtime" '
+echo "$raw" | awk -v out="$out" -v benchtime="$benchtime" \
+    -v cpus="$(nproc)" -v gomaxprocs="${GOMAXPROCS:-$(nproc)}" '
 /^cpu:/ { sub(/^cpu: /, ""); cpu = $0 }
 /^goos:/ { goos = $2 }
 /^goarch:/ { goarch = $2 }
@@ -37,6 +41,8 @@ END {
     printf "  \"goos\": \"%s\",\n", goos > out
     printf "  \"goarch\": \"%s\",\n", goarch > out
     printf "  \"cpu\": \"%s\",\n", cpu > out
+    printf "  \"cpus\": %d,\n", cpus > out
+    printf "  \"gomaxprocs\": %d,\n", gomaxprocs > out
     printf "  \"benchtime\": \"%s\",\n", benchtime > out
     printf "  \"results\": [\n" > out
     printf "    {\"name\": \"workers=1\", \"iterations\": %d, \"ns_per_op\": %.0f},\n", seq_iters, seq > out
