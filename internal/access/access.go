@@ -88,6 +88,9 @@ func (p Policy) Decide(priors, posteriors []float64, s *rng.Stream) SlotDecision
 
 // DecideInto is Decide writing into a caller-owned decision, reusing its
 // Channels slice, for per-slot loops that keep one SlotDecision alive.
+//
+//femtovet:hotpath
+//femtovet:borrows priors, posteriors, s, out
 func (p Policy) DecideInto(priors, posteriors []float64, s *rng.Stream, out *SlotDecision) {
 	m := len(posteriors)
 	if cap(out.Channels) < m {
@@ -118,6 +121,9 @@ func (d SlotDecision) Available() []int {
 
 // AppendAvailable appends the accessed channel set A(t) to buf (typically
 // buf[:0] of a reused slice) and returns it.
+//
+//femtovet:hotpath
+//femtovet:owns buf
 func (d SlotDecision) AppendAvailable(buf []int) []int {
 	for _, c := range d.Channels {
 		if c.Accessed {

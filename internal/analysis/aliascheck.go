@@ -1,0 +1,136 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"femtocr/internal/analysis/flow"
+)
+
+// AliasCheck machine-checks the buffer-ownership contracts of the *Into
+// family that previously lived in prose: //femtovet:borrows names the
+// parameters a function may only use for the duration of the call, and
+// //femtovet:owns the ones whose memory it may keep or hand back (the
+// AppendAvailable pattern, where the returned slice is rooted in the
+// caller's buf). A borrowed parameter must not be returned, stored into a
+// global or a receiver field, or passed to a callee whose flow summary
+// retains it (sync.Pool.Put included). Exported functions whose name ends
+// in Into are the in-place API surface and must annotate every
+// reference-carrying parameter so new engines inherit the contracts by
+// construction.
+var AliasCheck = &Analyzer{
+	Name: "aliascheck",
+	Doc:  "ownership contracts on *Into parameters: borrowed buffers returned, stored, or retained; exported *Into functions without owns/borrows annotations",
+	Run:  runAliasCheck,
+}
+
+func runAliasCheck(pass *Pass) {
+	if pass.Index == nil {
+		return
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			dirs := funcDirectives(fd)
+			checkIntoCoverage(pass, fd, dirs)
+			if len(dirs.Borrows) > 0 {
+				checkBorrows(pass, fd, dirs)
+			}
+		}
+	}
+}
+
+// checkIntoCoverage enforces that exported *Into functions annotate every
+// reference-carrying parameter.
+func checkIntoCoverage(pass *Pass, fd *ast.FuncDecl, dirs funcDirs) {
+	name := fd.Name.Name
+	if !fd.Name.IsExported() || !strings.HasSuffix(name, "Into") {
+		return
+	}
+	if fd.Type.Params == nil {
+		return
+	}
+	for _, field := range fd.Type.Params.List {
+		for _, pname := range field.Names {
+			v, ok := pass.Info.Defs[pname].(*types.Var)
+			if !ok || !flow.CarriesRef(v.Type()) {
+				continue
+			}
+			if dirs.Owns[pname.Name] || dirs.Borrows[pname.Name] {
+				continue
+			}
+			pass.Reportf(pname.Pos(), "exported in-place API %s: parameter %q carries references but has no ownership annotation; add //femtovet:owns or //femtovet:borrows to the doc comment", name, pname.Name)
+		}
+	}
+}
+
+// checkBorrows tracks each borrowed parameter through the body and
+// reports every way it could outlive the call.
+func checkBorrows(pass *Pass, fd *ast.FuncDecl, dirs funcDirs) {
+	obj, ok := pass.Info.Defs[fd.Name].(*types.Func)
+	if !ok {
+		return
+	}
+	body := pass.Index.FuncOf(obj)
+	if body == nil {
+		return
+	}
+	tr := flow.NewTracker(pass.Index.Summaries(), body)
+
+	// Register receiver and every parameter so EvStoreParam destinations
+	// resolve; only the borrowed bits are reported.
+	type src struct {
+		name     string
+		borrowed bool
+		recv     bool
+	}
+	var srcs []src
+	var recvMask uint64
+	addVar := func(name *ast.Ident, recv bool) {
+		v, _ := pass.Info.Defs[name].(*types.Var)
+		bit := tr.AddSourceVar(v)
+		srcs = append(srcs, src{name: name.Name, borrowed: dirs.Borrows[name.Name], recv: recv})
+		if recv {
+			recvMask |= 1 << bit
+		}
+	}
+	if fd.Recv != nil && len(fd.Recv.List) > 0 && len(fd.Recv.List[0].Names) > 0 {
+		addVar(fd.Recv.List[0].Names[0], true)
+	}
+	if fd.Type.Params != nil {
+		for _, field := range fd.Type.Params.List {
+			for _, pname := range field.Names {
+				addVar(pname, false)
+			}
+		}
+	}
+	tr.Solve()
+
+	for _, ev := range tr.Events() {
+		for bit, s := range srcs {
+			if !s.borrowed || ev.Mask&(1<<bit) == 0 {
+				continue
+			}
+			switch ev.Kind {
+			case flow.EvReturn:
+				pass.Reportf(ev.Pos, "borrowed parameter %q flows into a return value: a borrowed buffer must not outlive the call; annotate //femtovet:owns %s if ownership transfers to the caller", s.name, s.name)
+			case flow.EvStoreGlobal:
+				pass.Reportf(ev.Pos, "borrowed parameter %q stored into package-level state: the reference outlives the call", s.name)
+			case flow.EvStoreParam:
+				if ev.DestMask&recvMask != 0 {
+					pass.Reportf(ev.Pos, "borrowed parameter %q stored into a receiver field: the object outlives the call; copy the data or annotate //femtovet:owns", s.name)
+				}
+			case flow.EvRetainCall:
+				callee := "a callee"
+				if ev.Callee != nil {
+					callee = ev.Callee.Name()
+				}
+				pass.Reportf(ev.Pos, "borrowed parameter %q passed to %s, which retains its argument (pool or long-lived store)", s.name, callee)
+			}
+		}
+	}
+}

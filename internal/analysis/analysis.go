@@ -142,10 +142,10 @@ func (p *Pass) collectIgnores() {
 
 // directive is one parsed //femtovet:<kind> comment.
 type directive struct {
-	Kind   string   // "ignore", "unit", "index", "fixturepath"
+	Kind   string   // "ignore", "unit", "index", "fixturepath", "hotpath", ...
 	Arg    string   // raw argument text after the kind (reason stripped for ignore)
-	Names  []string // ignore: the comma-separated analyzer list
-	Reason string   // ignore: the text after " -- "
+	Names  []string // ignore/owns/borrows: the comma-separated name list
+	Reason string   // the text after " -- " (mandatory for ignore and coldpath)
 }
 
 // parseDirective recognizes femtovet directive comments. It returns ok
@@ -165,7 +165,7 @@ func parseDirective(comment string) (directive, bool) {
 		d.Reason = strings.TrimSpace(tail)
 	}
 	d.Arg = strings.TrimSpace(head)
-	if kind == "ignore" {
+	if kind == "ignore" || kind == "owns" || kind == "borrows" {
 		for _, part := range strings.Split(d.Arg, ",") {
 			if name := strings.TrimSpace(part); name != "" {
 				d.Names = append(d.Names, name)
@@ -173,6 +173,51 @@ func parseDirective(comment string) (directive, bool) {
 		}
 	}
 	return d, true
+}
+
+// funcDirs holds the function-level femtovet directives attached to one
+// declaration's doc comment: the hot/cold path markers and the ownership
+// contracts of its parameters.
+type funcDirs struct {
+	Hot     bool
+	Cold    bool
+	Owns    map[string]bool
+	Borrows map[string]bool
+}
+
+// funcDirectives parses the femtovet directives in fd's doc comment.
+func funcDirectives(fd *ast.FuncDecl) funcDirs {
+	var out funcDirs
+	if fd.Doc == nil {
+		return out
+	}
+	for _, c := range fd.Doc.List {
+		d, ok := parseDirective(c.Text)
+		if !ok {
+			continue
+		}
+		switch d.Kind {
+		case "hotpath":
+			out.Hot = true
+		case "coldpath":
+			out.Cold = true
+		case "owns":
+			if out.Owns == nil {
+				out.Owns = make(map[string]bool)
+			}
+			for _, n := range d.Names {
+				out.Owns[n] = true
+			}
+		case "borrows":
+			if out.Borrows == nil {
+				out.Borrows = make(map[string]bool)
+			}
+			for _, n := range d.Names {
+				out.Borrows[n] = true
+			}
+		}
+	}
+	return out
 }
 
 // directiveCovers reports whether the analyzer list names the given
@@ -190,7 +235,8 @@ func directiveCovers(names []string, name string) bool {
 func All() []*Analyzer {
 	return []*Analyzer{
 		RandSource, MapIter, FloatEq, ProbRange, ErrDrop,
-		UnitCheck, SeedFlow, IdxDomain, Directives,
+		UnitCheck, SeedFlow, IdxDomain, HotPath, PoolSafe,
+		AliasCheck, Directives,
 	}
 }
 

@@ -3,6 +3,7 @@ package analysis
 import (
 	"go/ast"
 	"regexp"
+	"sort"
 	"strings"
 )
 
@@ -10,10 +11,13 @@ import (
 // ignore without an analyzer name silences the whole suite, and one
 // without a reason is unauditable — both defeat the point of a baseline
 // that is supposed to stay empty. Malformed unit or index annotations
-// silently annotate nothing, which is worse than failing loudly here.
+// silently annotate nothing, which is worse than failing loudly here. The
+// function-level directives (hotpath, coldpath, owns, borrows) must sit in
+// a function's doc comment and, for the ownership pair, name real
+// parameters — a typo would silently drop the contract.
 var Directives = &Analyzer{
 	Name: "directives",
-	Doc:  "malformed femtovet directives: bare or reasonless ignores, unknown analyzers, units, or domains",
+	Doc:  "malformed femtovet directives: bare or reasonless ignores, unknown analyzers, units, or domains, misplaced function-level annotations",
 	Run:  runDirectives,
 }
 
@@ -32,6 +36,9 @@ var knownAnalyzers = map[string]bool{
 	"unitcheck":  true,
 	"seedflow":   true,
 	"idxdomain":  true,
+	"hotpath":    true,
+	"poolsafe":   true,
+	"aliascheck": true,
 	"directives": true,
 }
 
@@ -41,23 +48,53 @@ var directiveKinds = map[string]bool{
 	"unit":        true,
 	"index":       true,
 	"fixturepath": true, // fixture-harness only, but legal anywhere
+	"hotpath":     true,
+	"coldpath":    true,
+	"owns":        true,
+	"borrows":     true,
+}
+
+// funcLevelKinds must appear in a function's doc comment.
+var funcLevelKinds = map[string]bool{
+	"hotpath":  true,
+	"coldpath": true,
+	"owns":     true,
+	"borrows":  true,
 }
 
 func runDirectives(pass *Pass) {
 	for _, file := range pass.Files {
+		docOf := docComments(file)
 		for _, cg := range file.Comments {
 			for _, c := range cg.List {
 				d, ok := parseDirective(c.Text)
 				if !ok {
 					continue
 				}
-				checkDirective(pass, c, d)
+				checkDirective(pass, c, d, docOf[c])
 			}
 		}
+		checkFuncDirectivePairs(pass, file)
 	}
 }
 
-func checkDirective(pass *Pass, c *ast.Comment, d directive) {
+// docComments maps each comment that is part of a function declaration's
+// doc group to the declaration it documents.
+func docComments(file *ast.File) map[*ast.Comment]*ast.FuncDecl {
+	out := make(map[*ast.Comment]*ast.FuncDecl)
+	for _, decl := range file.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok || fd.Doc == nil {
+			continue
+		}
+		for _, c := range fd.Doc.List {
+			out[c] = fd
+		}
+	}
+	return out
+}
+
+func checkDirective(pass *Pass, c *ast.Comment, d directive, fd *ast.FuncDecl) {
 	switch d.Kind {
 	case "ignore":
 		if len(d.Names) == 0 {
@@ -90,7 +127,88 @@ func checkDirective(pass *Pass, c *ast.Comment, d directive) {
 		if d.Arg == "" {
 			pass.Reportf(c.Pos(), "femtovet:fixturepath needs an import path argument")
 		}
+	case "hotpath":
+		if fd == nil {
+			pass.Reportf(c.Pos(), "femtovet:hotpath must appear in a function's doc comment; it marks the function as an allocation-free root")
+			return
+		}
+		if d.Arg != "" {
+			pass.Reportf(c.Pos(), "femtovet:hotpath takes no argument; the whole function is the root")
+		}
+	case "coldpath":
+		if fd == nil {
+			pass.Reportf(c.Pos(), "femtovet:coldpath must appear in a function's doc comment; it stops the hotpath walk at that function")
+			return
+		}
+		if d.Arg != "" {
+			pass.Reportf(c.Pos(), "femtovet:coldpath takes no argument")
+		}
+		if d.Reason == "" {
+			pass.Reportf(c.Pos(), "femtovet:coldpath without a reason is unauditable; append ` -- <why this constructor/diagnostic may allocate>`")
+		}
+	case "owns", "borrows":
+		if fd == nil {
+			pass.Reportf(c.Pos(), "femtovet:%s must appear in a function's doc comment; it names that function's parameters", d.Kind)
+			return
+		}
+		if len(d.Names) == 0 {
+			pass.Reportf(c.Pos(), "femtovet:%s needs a comma-separated parameter list, e.g. //femtovet:%s in, out", d.Kind, d.Kind)
+			return
+		}
+		declared := declaredParamNames(fd)
+		for _, name := range d.Names {
+			if !declared[name] {
+				pass.Reportf(c.Pos(), "femtovet:%s names %q, which is not a parameter or receiver of %s", d.Kind, name, fd.Name.Name)
+			}
+		}
 	default:
-		pass.Reportf(c.Pos(), "unknown femtovet directive %q (known: ignore, unit, index, fixturepath)", d.Kind)
+		pass.Reportf(c.Pos(), "unknown femtovet directive %q (known: ignore, unit, index, fixturepath, hotpath, coldpath, owns, borrows)", d.Kind)
 	}
+}
+
+// checkFuncDirectivePairs flags contradictory combinations on one
+// declaration: hotpath+coldpath, and a parameter claimed by both owns and
+// borrows.
+func checkFuncDirectivePairs(pass *Pass, file *ast.File) {
+	for _, decl := range file.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok || fd.Doc == nil {
+			continue
+		}
+		dirs := funcDirectives(fd)
+		if dirs.Hot && dirs.Cold {
+			pass.Reportf(fd.Doc.Pos(), "%s is annotated both femtovet:hotpath and femtovet:coldpath; pick one", fd.Name.Name)
+		}
+		both := make([]string, 0, len(dirs.Owns))
+		for name := range dirs.Owns {
+			if dirs.Borrows[name] {
+				both = append(both, name)
+			}
+		}
+		sort.Strings(both)
+		for _, name := range both {
+			pass.Reportf(fd.Doc.Pos(), "parameter %q of %s is claimed by both femtovet:owns and femtovet:borrows; the contracts are mutually exclusive", name, fd.Name.Name)
+		}
+	}
+}
+
+// declaredParamNames collects the receiver and parameter names of a
+// declaration.
+func declaredParamNames(fd *ast.FuncDecl) map[string]bool {
+	out := make(map[string]bool)
+	if fd.Recv != nil {
+		for _, field := range fd.Recv.List {
+			for _, name := range field.Names {
+				out[name.Name] = true
+			}
+		}
+	}
+	if fd.Type.Params != nil {
+		for _, field := range fd.Type.Params.List {
+			for _, name := range field.Names {
+				out[name.Name] = true
+			}
+		}
+	}
+	return out
 }

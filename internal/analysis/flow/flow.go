@@ -37,6 +37,7 @@ type Index struct {
 	pkgs  []*Package
 	funcs map[*types.Func]*Func
 	cg    *CallGraph
+	sums  *Summaries
 }
 
 // NewIndex returns an empty index.
@@ -50,6 +51,7 @@ func (ix *Index) Add(path string, files []*ast.File, info *types.Info) {
 	p := &Package{Path: path, Files: files, Info: info}
 	ix.pkgs = append(ix.pkgs, p)
 	ix.cg = nil // invalidate any memoized graph
+	ix.sums = nil
 	for _, file := range files {
 		for _, decl := range file.Decls {
 			fd, ok := decl.(*ast.FuncDecl)

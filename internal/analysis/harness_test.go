@@ -158,6 +158,21 @@ func TestIdxDomainFixtures(t *testing.T) {
 	runFixture(t, IdxDomain, "testdata/idxdomain_clean.go")
 }
 
+func TestHotPathFixtures(t *testing.T) {
+	runFixture(t, HotPath, "testdata/hotpath_flag.go")
+	runFixture(t, HotPath, "testdata/hotpath_clean.go")
+}
+
+func TestPoolSafeFixtures(t *testing.T) {
+	runFixture(t, PoolSafe, "testdata/poolsafe_flag.go")
+	runFixture(t, PoolSafe, "testdata/poolsafe_clean.go")
+}
+
+func TestAliasCheckFixtures(t *testing.T) {
+	runFixture(t, AliasCheck, "testdata/aliascheck_flag.go")
+	runFixture(t, AliasCheck, "testdata/aliascheck_clean.go")
+}
+
 func TestDirectivesFixtures(t *testing.T) {
 	runFixture(t, Directives, "testdata/directives_flag.go")
 }

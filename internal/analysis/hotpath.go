@@ -1,0 +1,555 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"femtocr/internal/analysis/flow"
+)
+
+// HotPath keeps the per-slot allocation-free guarantee of the pooled
+// solver workspaces checkable at vet time instead of bench time. Functions
+// annotated //femtovet:hotpath — the SolveInto implementations, the greedy
+// allocator, StepInPlace, DecideInto, AssignInto, SampleGainsInto, and the
+// per-slot engine steps — plus everything statically reachable from them
+// through the flow call graph must not allocate in steady state: no
+// make/new outside the cap-growth idiom, no escaping composite literals or
+// capturing closures, no appends that grow a fresh backing array every
+// call, no fmt formatting, interface boxing, map iteration, or string
+// concatenation. Error-construction inside return statements is exempt by
+// convention (errors abort the slot), and //femtovet:coldpath marks
+// constructors and diagnostics the walk must not enter. The AllocsPerRun
+// pins in internal/core/alloc_test.go remain the runtime backstop for
+// whatever escape analysis this check cannot see.
+var HotPath = &Analyzer{
+	Name: "hotpath",
+	Doc:  "allocation-causing constructs reachable from //femtovet:hotpath roots: make/new, escaping literals and closures, fresh appends, fmt, boxing, map ranges",
+	Run:  runHotPath,
+}
+
+func runHotPath(pass *Pass) {
+	ix := pass.Index
+	if ix == nil {
+		return
+	}
+	hp := &hotPath{pass: pass}
+	hp.reach()
+	inPass := make(map[*ast.File]bool, len(pass.Files))
+	for _, f := range pass.Files {
+		inPass[f] = true
+	}
+	for _, fn := range hp.order {
+		body := ix.FuncOf(fn)
+		if body == nil || !inPass[body.File] {
+			continue
+		}
+		hp.checkFunc(fn, body)
+	}
+}
+
+type hotPath struct {
+	pass   *Pass
+	roots  map[*types.Func]bool
+	cold   map[*types.Func]bool
+	rootOf map[*types.Func]*types.Func // reachable fn -> the root that discovered it
+	order  []*types.Func               // reachable fns in deterministic discovery order
+}
+
+// reach collects the module-wide hotpath roots and coldpath stops, then
+// walks the static call graph breadth-first. Calls through interfaces and
+// func values do not resolve, which is exactly why every SolveInto
+// implementation carries its own root annotation.
+func (hp *hotPath) reach() {
+	ix := hp.pass.Index
+	hp.roots = make(map[*types.Func]bool)
+	hp.cold = make(map[*types.Func]bool)
+	hp.rootOf = make(map[*types.Func]*types.Func)
+	for _, pkg := range ix.Packages() {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok {
+					continue
+				}
+				dirs := funcDirectives(fd)
+				obj, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				if dirs.Cold {
+					hp.cold[obj] = true
+				} else if dirs.Hot {
+					hp.roots[obj] = true
+				}
+			}
+		}
+	}
+	cg := ix.CallGraph()
+	var queue []*types.Func
+	for _, pkg := range ix.Packages() { // re-walk for deterministic root order
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				if fd, ok := decl.(*ast.FuncDecl); ok {
+					if obj, ok := pkg.Info.Defs[fd.Name].(*types.Func); ok && hp.roots[obj] {
+						if _, seen := hp.rootOf[obj]; !seen {
+							hp.rootOf[obj] = obj
+							hp.order = append(hp.order, obj)
+							queue = append(queue, obj)
+						}
+					}
+				}
+			}
+		}
+	}
+	for len(queue) > 0 {
+		fn := queue[0]
+		queue = queue[1:]
+		for _, site := range cg.CalleesOf(fn) {
+			callee := site.Callee
+			if hp.cold[callee] || ix.FuncOf(callee) == nil {
+				continue
+			}
+			if _, seen := hp.rootOf[callee]; seen {
+				continue
+			}
+			hp.rootOf[callee] = hp.rootOf[fn]
+			hp.order = append(hp.order, callee)
+			queue = append(queue, callee)
+		}
+	}
+}
+
+// checkFunc runs the allocation checks over one hot-reachable body. A
+// first pass registers the escape-gated candidates (composite literals
+// and capturing closures) with a flow tracker; the second pass walks with
+// an ancestor stack and reports.
+func (hp *hotPath) checkFunc(fn *types.Func, body *flow.Func) {
+	info := body.Info
+	tr := flow.NewTracker(hp.pass.Index.Summaries(), body)
+	compBit := make(map[*ast.CompositeLit]int)
+	litBit := make(map[*ast.FuncLit]int)
+	ast.Inspect(body.Decl, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.UnaryExpr:
+			if x.Op == token.AND {
+				if cl, ok := ast.Unparen(x.X).(*ast.CompositeLit); ok {
+					if _, dup := compBit[cl]; !dup {
+						compBit[cl] = tr.AddSourceExpr(cl)
+					}
+				}
+			}
+		case *ast.CompositeLit:
+			if isSliceOrMap(info.TypeOf(x)) && len(x.Elts) > 0 {
+				if _, dup := compBit[x]; !dup {
+					compBit[x] = tr.AddSourceExpr(x)
+				}
+			}
+		case *ast.FuncLit:
+			if captures(info, x) {
+				litBit[x] = tr.AddSourceExpr(x)
+			}
+		}
+		return true
+	})
+	tr.Solve()
+
+	where := hp.where(fn)
+	var stack []ast.Node
+	ast.Inspect(body.Decl, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if exemptPath(info, stack) {
+			stack = append(stack, n)
+			return true
+		}
+		switch x := n.(type) {
+		case *ast.CallExpr:
+			hp.checkCall(x, info, stack, where)
+		case *ast.CompositeLit:
+			if bit, ok := compBit[x]; ok && tr.EscapeOf(bit) {
+				hp.pass.Reportf(x.Pos(), "escaping composite literal allocates on every call of %s; reuse a workspace buffer or hoist construction behind //femtovet:coldpath", where)
+			}
+		case *ast.FuncLit:
+			if bit, ok := litBit[x]; ok && tr.EscapeOf(bit) {
+				hp.pass.Reportf(x.Pos(), "escaping closure captures variables and allocates on every call of %s; call it directly or hoist it off the hot path", where)
+			}
+		case *ast.RangeStmt:
+			if t := info.TypeOf(x.X); t != nil {
+				if _, isMap := t.Underlying().(*types.Map); isMap {
+					hp.pass.Reportf(x.Pos(), "range over map in %s: iteration order is randomized and the walk defeats the allocation-free contract; iterate a cached index slice", where)
+				}
+			}
+		case *ast.BinaryExpr:
+			if x.Op == token.ADD && isStringType(info.TypeOf(x)) {
+				if tv, ok := info.Types[ast.Expr(x)]; !ok || tv.Value == nil { // constant folding is free
+					hp.pass.Reportf(x.Pos(), "string concatenation allocates on every call of %s; format off the hot path", where)
+				}
+			}
+		}
+		stack = append(stack, n)
+		return true
+	})
+}
+
+// where labels a finding with the containing function and the hotpath
+// root that reaches it.
+func (hp *hotPath) where(fn *types.Func) string {
+	root := hp.rootOf[fn]
+	if root == nil || root == fn {
+		return fn.Name() + " (//femtovet:hotpath)"
+	}
+	return fn.Name() + " (hot: reachable from " + root.Name() + ")"
+}
+
+// checkCall covers the call-shaped rules: make/new, fmt formatting, and
+// implicit interface boxing of arguments.
+func (hp *hotPath) checkCall(call *ast.CallExpr, info *types.Info, stack []ast.Node, where string) {
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+		return // conversion
+	}
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if _, builtin := info.Uses[id].(*types.Builtin); builtin {
+			switch id.Name {
+			case "make":
+				if !capGuarded(stack) {
+					hp.pass.Reportf(call.Pos(), "make allocates on every call of %s; reuse a workspace buffer or guard with the cap-growth idiom (if cap(buf) >= n { return buf[:n] })", where)
+				}
+			case "new":
+				hp.pass.Reportf(call.Pos(), "new allocates on every call of %s; take the value from a pooled workspace or a //femtovet:coldpath constructor", where)
+			case "append":
+				if len(call.Args) > 0 && hp.freshAppendDest(call.Args[0], info, stack) {
+					hp.pass.Reportf(call.Pos(), "append to a fresh local in %s grows a new backing array every call; append into a workspace buffer or a result field", where)
+				}
+			}
+			return
+		}
+	}
+	fn := flow.Callee(info, call)
+	if fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+		hp.pass.Reportf(call.Pos(), "fmt.%s formats (and allocates) on every call of %s; hot paths return sentinel errors and format off-slot", fn.Name(), where)
+		return
+	}
+	hp.checkBoxing(call, info, where)
+}
+
+// checkBoxing flags arguments whose concrete non-pointer value is
+// implicitly converted to an interface parameter — the conversion heap-
+// boxes the value on every call.
+func (hp *hotPath) checkBoxing(call *ast.CallExpr, info *types.Info, where string) {
+	tv, ok := info.Types[call.Fun]
+	if !ok || tv.Type == nil {
+		return
+	}
+	sig, ok := tv.Type.Underlying().(*types.Signature)
+	if !ok {
+		return
+	}
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= sig.Params().Len()-1:
+			if _, ellipsis := arg.(*ast.Ellipsis); ellipsis {
+				continue
+			}
+			st, ok := sig.Params().At(sig.Params().Len() - 1).Type().(*types.Slice)
+			if !ok {
+				continue
+			}
+			pt = st.Elem()
+		case i < sig.Params().Len():
+			pt = sig.Params().At(i).Type()
+		default:
+			continue
+		}
+		if _, isIface := pt.Underlying().(*types.Interface); !isIface {
+			continue
+		}
+		at := info.TypeOf(arg)
+		if at == nil || isUntypedNil(at) {
+			continue
+		}
+		switch at.Underlying().(type) {
+		case *types.Interface, *types.Pointer:
+			continue // no box: already boxed, or pointer fits the word
+		}
+		if tv, ok := info.Types[arg]; ok && tv.Value != nil {
+			continue // constants convert at compile time into static descriptors
+		}
+		hp.pass.Reportf(arg.Pos(), "argument boxes a %s into an interface on every call of %s; pass a pointer or keep the callee concrete", at.String(), where)
+	}
+}
+
+// freshAppendDest reports whether the append destination is a plain local
+// whose every definition is fresh (nil, make, literal, or self-append) —
+// the pattern that regrows a backing array on each invocation. Appends
+// into parameters, fields, and pre-grown workspace buffers are the
+// sanctioned idiom and stay silent.
+func (hp *hotPath) freshAppendDest(dest ast.Expr, info *types.Info, stack []ast.Node) bool {
+	e := ast.Unparen(dest)
+	if sl, ok := e.(*ast.SliceExpr); ok {
+		e = ast.Unparen(sl.X)
+	}
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return false // selector/index destinations live in caller-owned memory
+	}
+	v, ok := info.ObjectOf(id).(*types.Var)
+	if !ok || v.IsField() || isGlobalVar(v) || isParamOf(v, stack) {
+		return false
+	}
+	fresh := true
+	root := outermostFuncDecl(stack)
+	if root == nil {
+		return false
+	}
+	ast.Inspect(root, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.AssignStmt:
+			if len(x.Lhs) != len(x.Rhs) {
+				for _, lhs := range x.Lhs {
+					if lid, ok := ast.Unparen(lhs).(*ast.Ident); ok && info.ObjectOf(lid) == v {
+						fresh = false // tuple-assigned from a call: unknowable
+					}
+				}
+				return true
+			}
+			for i, lhs := range x.Lhs {
+				lid, ok := ast.Unparen(lhs).(*ast.Ident)
+				if !ok || info.ObjectOf(lid) != v {
+					continue
+				}
+				if !freshDef(info, x.Rhs[i], v) {
+					fresh = false
+				}
+			}
+		case *ast.ValueSpec:
+			for i, name := range x.Names {
+				if info.ObjectOf(name) == v && i < len(x.Values) && !freshDef(info, x.Values[i], v) {
+					fresh = false
+				}
+			}
+		case *ast.RangeStmt:
+			if kid, ok := ast.Unparen(x.Key).(*ast.Ident); ok && info.ObjectOf(kid) == v {
+				fresh = false
+			}
+			if vid, ok := ast.Unparen(x.Value).(*ast.Ident); ok && info.ObjectOf(vid) == v {
+				fresh = false
+			}
+		}
+		return true
+	})
+	return fresh
+}
+
+// freshDef reports whether one defining expression keeps the variable
+// fresh: nil, make, a literal, or an append rooted at the variable itself.
+func freshDef(info *types.Info, rhs ast.Expr, v *types.Var) bool {
+	switch x := ast.Unparen(rhs).(type) {
+	case *ast.Ident:
+		return x.Name == "nil"
+	case *ast.CompositeLit:
+		return true
+	case *ast.CallExpr:
+		if id, ok := ast.Unparen(x.Fun).(*ast.Ident); ok {
+			if _, builtin := info.Uses[id].(*types.Builtin); builtin {
+				switch id.Name {
+				case "make":
+					return true
+				case "append":
+					if len(x.Args) > 0 {
+						a0 := ast.Unparen(x.Args[0])
+						if sl, ok := a0.(*ast.SliceExpr); ok {
+							a0 = ast.Unparen(sl.X)
+						}
+						if aid, ok := a0.(*ast.Ident); ok && info.ObjectOf(aid) == v {
+							return true
+						}
+					}
+				}
+			}
+		}
+	}
+	return false
+}
+
+// capGuarded reports whether the construct sits under or after a
+// cap-comparison if-statement in its enclosing blocks — the sanctioned
+// amortized-growth idiom (growF and the inline cap checks).
+func capGuarded(stack []ast.Node) bool {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch anc := stack[i].(type) {
+		case *ast.IfStmt:
+			if condContainsCap(anc.Cond) {
+				return true
+			}
+		case *ast.BlockStmt:
+			// Scan statements preceding the one on the ancestor path.
+			var child ast.Node
+			if i+1 < len(stack) {
+				child = stack[i+1]
+			}
+			for _, stmt := range anc.List {
+				if stmt == child {
+					break
+				}
+				if ifs, ok := stmt.(*ast.IfStmt); ok && condContainsCap(ifs.Cond) {
+					return true
+				}
+			}
+		case *ast.FuncDecl, *ast.FuncLit:
+			return false // do not look past the function boundary
+		}
+	}
+	return false
+}
+
+func condContainsCap(cond ast.Expr) bool {
+	found := false
+	ast.Inspect(cond, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "cap" {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// exemptPath reports whether the ancestor stack places the node on a cold
+// path by convention: inside a return statement that yields a non-nil
+// error, or inside a panic call.
+func exemptPath(info *types.Info, stack []ast.Node) bool {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch anc := stack[i].(type) {
+		case *ast.ReturnStmt:
+			for _, res := range anc.Results {
+				t := info.TypeOf(res)
+				if t != nil && isErrorType(t) && !isNilIdent(res) {
+					return true
+				}
+			}
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(anc.Fun).(*ast.Ident); ok && id.Name == "panic" {
+				if _, builtin := info.Uses[id].(*types.Builtin); builtin {
+					return true
+				}
+			}
+		case *ast.FuncDecl, *ast.FuncLit:
+			return false
+		}
+	}
+	return false
+}
+
+func isErrorType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if ok {
+		return named.Obj().Pkg() == nil && named.Obj().Name() == "error"
+	}
+	if iface, ok := t.(*types.Interface); ok {
+		return iface.NumMethods() == 1 && iface.Method(0).Name() == "Error"
+	}
+	return false
+}
+
+func isNilIdent(e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	return ok && id.Name == "nil"
+}
+
+func isUntypedNil(t types.Type) bool {
+	b, ok := t.(*types.Basic)
+	return ok && b.Kind() == types.UntypedNil
+}
+
+func isStringType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isSliceOrMap(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	switch t.Underlying().(type) {
+	case *types.Slice, *types.Map:
+		return true
+	}
+	return false
+}
+
+// captures reports whether a func literal references any variable
+// declared outside itself; capture-free closures are static and free.
+func captures(info *types.Info, lit *ast.FuncLit) bool {
+	found := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return !found
+		}
+		if v, ok := info.Uses[id].(*types.Var); ok && !isGlobalVar(v) && !v.IsField() {
+			if v.Pos() < lit.Pos() || v.Pos() > lit.End() {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+func isGlobalVar(v *types.Var) bool {
+	return v.Pkg() != nil && v.Parent() == v.Pkg().Scope()
+}
+
+// isParamOf reports whether v is a parameter, receiver, or named result
+// of any function declaration or literal on the stack.
+func isParamOf(v *types.Var, stack []ast.Node) bool {
+	for _, n := range stack {
+		var ft *ast.FuncType
+		var recv *ast.FieldList
+		switch x := n.(type) {
+		case *ast.FuncDecl:
+			ft, recv = x.Type, x.Recv
+		case *ast.FuncLit:
+			ft = x.Type
+		default:
+			continue
+		}
+		if fieldListHas(recv, v) || fieldListHas(ft.Params, v) || fieldListHas(ft.Results, v) {
+			return true
+		}
+	}
+	return false
+}
+
+func fieldListHas(fl *ast.FieldList, v *types.Var) bool {
+	if fl == nil {
+		return false
+	}
+	for _, f := range fl.List {
+		for _, name := range f.Names {
+			if name.Pos() == v.Pos() && name.Name == v.Name() {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// outermostFuncDecl returns the function declaration on the stack, even
+// when the construct sits inside a nested func literal.
+func outermostFuncDecl(stack []ast.Node) ast.Node {
+	for _, n := range stack {
+		if fd, ok := n.(*ast.FuncDecl); ok {
+			return fd
+		}
+	}
+	return nil
+}

@@ -87,6 +87,71 @@ func sumPSNR(in *core.Instance) float64 {
 	assertSingleFinding(t, diags, "idxdomain", "index-domain mismatch")
 }
 
+// TestMutationHotAlloc: introducing an unguarded make into waterfillInto,
+// an annotated //femtovet:hotpath root, breaks the allocation-free
+// contract; hotpath alone must catch it.
+func TestMutationHotAlloc(t *testing.T) {
+	src := mutate(t, "../core/waterfill.go",
+		"	for j := range rho {\n\t\trho[j] = 0\n\t}",
+		"	scratch := make([]float64, len(rho))\n\tfor j := range rho {\n\t\trho[j] = scratch[j]\n\t}")
+	diags := suiteOnSource(t, "femtocr/internal/coremutalloc", "waterfillmut.go", src, All())
+	assertSingleFinding(t, diags, "hotpath", "make allocates on every call of waterfillInto")
+}
+
+// TestMutationDroppedDeferPut: deleting the deferred Put after a pool Get
+// leaks the workspace on every call; poolsafe alone must catch it.
+func TestMutationDroppedDeferPut(t *testing.T) {
+	clean := `package fixture
+
+import "sync"
+
+type scratch struct{ buf []float64 }
+
+var pool = sync.Pool{New: func() any { return new(scratch) }}
+
+func use(n int) int {
+	ws := pool.Get().(*scratch)
+	defer pool.Put(ws)
+	if cap(ws.buf) < n {
+		ws.buf = make([]float64, n)
+	}
+	ws.buf = ws.buf[:n]
+	return len(ws.buf)
+}
+`
+	if diags := suiteOnSource(t, "femtocr/internal/poolmut0", "poolmut0.go", clean, All()); len(diags) != 0 {
+		t.Fatalf("clean variant must be silent, got %v", diags)
+	}
+	mutated := strings.Replace(clean, "\tdefer pool.Put(ws)\n", "", 1)
+	diags := suiteOnSource(t, "femtocr/internal/poolmut1", "poolmut1.go", mutated, All())
+	assertSingleFinding(t, diags, "poolsafe", "never returned to its pool")
+}
+
+// TestMutationBorrowedEscape: stashing a borrowed buffer in package state
+// lets it outlive the call; aliascheck alone must catch it.
+func TestMutationBorrowedEscape(t *testing.T) {
+	clean := `package fixture
+
+var stash []float64
+
+// ScaleInto doubles src into dst and keeps neither.
+//
+//femtovet:borrows dst, src
+func ScaleInto(dst, src []float64) {
+	for i := range src {
+		dst[i] = 2 * src[i]
+	}
+}
+`
+	if diags := suiteOnSource(t, "femtocr/internal/aliasmut0", "aliasmut0.go", clean, All()); len(diags) != 0 {
+		t.Fatalf("clean variant must be silent, got %v", diags)
+	}
+	mutated := strings.Replace(clean, "for i := range src {",
+		"stash = dst\n\tfor i := range src {", 1)
+	diags := suiteOnSource(t, "femtocr/internal/aliasmut1", "aliasmut1.go", mutated, All())
+	assertSingleFinding(t, diags, "aliascheck", "stored into package-level state")
+}
+
 // The unmutated originals stay silent — the suite is already proven clean
 // over the whole module by TestSuiteCleanOnModule — so each mutation above
 // flips exactly one bit of analyzer output.

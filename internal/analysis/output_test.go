@@ -101,6 +101,53 @@ func TestBaselineRoundTrip(t *testing.T) {
 	}
 }
 
+// TestBaselineNewKinds: findings from the v3 analyzers (hotpath, poolsafe,
+// aliascheck) round-trip through the baseline like any other kind — filtered
+// when recorded, passed through when fresh.
+func TestBaselineNewKinds(t *testing.T) {
+	diags := []Diagnostic{
+		{
+			Pos:      token.Position{Filename: "/mod/internal/core/dual.go", Line: 20, Column: 2},
+			Analyzer: "hotpath",
+			Message:  "make allocates on every call of SolveInto (//femtovet:hotpath); reuse a workspace buffer or guard with the cap-growth idiom (if cap(buf) >= n { return buf[:n] })",
+		},
+		{
+			Pos:      token.Position{Filename: "/mod/internal/core/workspace.go", Line: 31, Column: 2},
+			Analyzer: "poolsafe",
+			Message:  "pooled ws is never returned to its pool: add `defer <put>(ws)` right after the Get, or return it to transfer ownership",
+		},
+		{
+			Pos:      token.Position{Filename: "/mod/internal/sensing/assignment.go", Line: 44, Column: 17},
+			Analyzer: "aliascheck",
+			Message:  "borrowed parameter \"out\" flows into a return value: a borrowed buffer must not outlive the call; annotate //femtovet:owns out if ownership transfers to the caller",
+		},
+	}
+	b := BaselineOf(diags, sampleRel)
+	data, err := b.Encode()
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	path := filepath.Join(t.TempDir(), "baseline.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	loaded, err := ReadBaselineFile(path)
+	if err != nil {
+		t.Fatalf("ReadBaselineFile: %v", err)
+	}
+	if kept := loaded.Filter(diags, sampleRel); len(kept) != 0 {
+		t.Errorf("baselined v3 findings leaked through Filter: %v", kept)
+	}
+	fresh := Diagnostic{
+		Pos:      token.Position{Filename: "/mod/internal/core/greedy.go", Line: 9, Column: 5},
+		Analyzer: "hotpath",
+		Message:  "new allocates on every call of Allocate (//femtovet:hotpath); take the value from a pooled workspace or a //femtovet:coldpath constructor",
+	}
+	if kept := loaded.Filter(append(diags, fresh), sampleRel); len(kept) != 1 || kept[0].Message != fresh.Message {
+		t.Errorf("Filter(with fresh hotpath finding) = %v, want exactly the fresh finding", kept)
+	}
+}
+
 func TestBaselineRejectsBadVersion(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "baseline.json")
 	if err := os.WriteFile(path, []byte(`{"version": 99, "findings": []}`), 0o644); err != nil {
@@ -156,6 +203,34 @@ func keys(m map[int]string) []int {
 	}
 	if diags := suiteOnSource(t, "femtocr/internal/fixsort2", "fixsort2.go", fixed, []*Analyzer{MapIter}); len(diags) != 0 {
 		t.Errorf("mapiter still fires on the fixed source: %v", diags)
+	}
+}
+
+// TestApplyFixDeferPut: the poolsafe fix prefixes a plain Put with `defer`,
+// and the rewritten source no longer triggers the analyzer at all (the
+// use-after-Put finding dies with the same edit).
+func TestApplyFixDeferPut(t *testing.T) {
+	src := `package fixture
+
+import "sync"
+
+type thing struct{ x int }
+
+var pool = sync.Pool{New: func() any { return new(thing) }}
+
+func use() int {
+	ws := pool.Get().(*thing)
+	ws.x++
+	pool.Put(ws)
+	return ws.x
+}
+`
+	fixed := applyFirstFix(t, PoolSafe, "femtocr/internal/fixput", src)
+	if !strings.Contains(fixed, "defer pool.Put(ws)") {
+		t.Errorf("fix did not defer the Put:\n%s", fixed)
+	}
+	if diags := suiteOnSource(t, "femtocr/internal/fixput2", "fixput2.go", fixed, []*Analyzer{PoolSafe}); len(diags) != 0 {
+		t.Errorf("poolsafe still fires on the fixed source: %v", diags)
 	}
 }
 

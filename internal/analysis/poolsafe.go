@@ -1,0 +1,517 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+
+	"femtocr/internal/analysis/flow"
+)
+
+// PoolSafe checks the sync.Pool workspace lifecycle the zero-allocation
+// hot path depends on: every value taken from a pool (directly or through
+// a module wrapper like getWorkspace) must be handed back on every exit
+// path, which in this tree means a deferred Put immediately after the Get
+// — a plain Put leaks on panics and early error returns. A value must not
+// be used after a non-deferred Put, and a value that is still reachable
+// when Put runs (returned, stored into a global or a parameter's memory)
+// will be recycled under the caller's feet. Getter functions that return
+// the pooled value transfer ownership and are exempt by construction.
+var PoolSafe = &Analyzer{
+	Name: "poolsafe",
+	Doc:  "sync.Pool lifecycle: Get without deferred Put, Put not deferred, use after Put, Put of a still-reachable value, missing Reset",
+	Run:  runPoolSafe,
+}
+
+func runPoolSafe(pass *Pass) {
+	if pass.Index == nil {
+		return
+	}
+	ps := &poolSafe{
+		pass:    pass,
+		getters: make(map[*types.Func]getterResult),
+		putters: make(map[*types.Func]putterInfo),
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				ps.checkFunc(fd)
+			}
+		}
+	}
+}
+
+// putterInfo describes a module function that returns its argument to a
+// pool: which parameter, and which pool variable it reaches.
+type putterInfo struct {
+	param int
+	pool  *types.Var
+	valid bool
+}
+
+// getterResult memoizes whether a function is a pool-getter wrapper.
+type getterResult struct {
+	pool *types.Var
+	ok   bool
+}
+
+type poolSafe struct {
+	pass    *Pass
+	getters map[*types.Func]getterResult
+	putters map[*types.Func]putterInfo
+}
+
+// binding is one `v := <pool get>` statement found in a function body.
+type binding struct {
+	v    *types.Var
+	id   *ast.Ident
+	stmt *ast.AssignStmt
+	pool *types.Var
+}
+
+func (ps *poolSafe) checkFunc(fd *ast.FuncDecl) {
+	info := ps.pass.Info
+	var binds []binding
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+			return true
+		}
+		id, ok := ast.Unparen(as.Lhs[0]).(*ast.Ident)
+		if !ok || id.Name == "_" {
+			return true
+		}
+		v, ok := info.ObjectOf(id).(*types.Var)
+		if !ok {
+			return true
+		}
+		pool, ok := ps.getRoot(as.Rhs[0], info, nil)
+		if !ok {
+			return true
+		}
+		binds = append(binds, binding{v: v, id: id, stmt: as, pool: pool})
+		return true
+	})
+	for _, b := range binds {
+		ps.checkBinding(fd, b)
+	}
+}
+
+func (ps *poolSafe) checkBinding(fd *ast.FuncDecl, b binding) {
+	info := ps.pass.Info
+	var deferredPuts, plainPuts []*ast.CallExpr
+	returned := false
+
+	var stack []ast.Node
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		switch x := n.(type) {
+		case *ast.CallExpr:
+			if arg := ps.putArgOf(x, info); arg != nil {
+				if id, ok := ast.Unparen(arg).(*ast.Ident); ok && info.ObjectOf(id) == b.v {
+					if underDefer(stack, x) {
+						deferredPuts = append(deferredPuts, x)
+					} else {
+						plainPuts = append(plainPuts, x)
+					}
+				}
+			}
+		case *ast.ReturnStmt:
+			for _, res := range x.Results {
+				if id, ok := ast.Unparen(res).(*ast.Ident); ok && info.ObjectOf(id) == b.v {
+					returned = true
+				}
+			}
+		}
+		stack = append(stack, n)
+		return true
+	})
+
+	name := b.v.Name()
+	switch {
+	case len(deferredPuts) == 0 && len(plainPuts) == 0:
+		if !returned {
+			fix := ps.deferPutFix(b)
+			ps.pass.ReportFixf(b.stmt.Pos(), fix,
+				"pooled %s is never returned to its pool: add `defer <put>(%s)` right after the Get, or return it to transfer ownership", name, name)
+		}
+	case len(plainPuts) > 0:
+		for _, put := range plainPuts {
+			ps.pass.ReportFixf(put.Pos(), &Fix{
+				Message: "defer the Put so panics and early returns still recycle the value",
+				Edits:   []TextEdit{{Pos: put.Pos(), End: put.Pos(), NewText: "defer "}},
+			}, "Put of pooled %s is not deferred: a panic or early error return leaks it; write `defer` in front of the Put", name)
+		}
+		ps.checkUseAfterPut(fd, b, plainPuts)
+	}
+
+	if len(deferredPuts) > 0 || len(plainPuts) > 0 {
+		ps.checkEscapeBeforePut(fd, b, returned)
+		ps.checkResetBeforeUse(fd, b)
+	}
+}
+
+// checkUseAfterPut flags statements in the same block that touch the value
+// after a non-deferred Put returned it to the pool.
+func (ps *poolSafe) checkUseAfterPut(fd *ast.FuncDecl, b binding, puts []*ast.CallExpr) {
+	info := ps.pass.Info
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		block, ok := n.(*ast.BlockStmt)
+		if !ok {
+			return true
+		}
+		putDone := false
+		for _, stmt := range block.List {
+			if putDone {
+				stmt := stmt
+				ast.Inspect(stmt, func(m ast.Node) bool {
+					if id, ok := m.(*ast.Ident); ok && info.ObjectOf(id) == b.v {
+						ps.pass.Reportf(id.Pos(), "pooled %s used after Put returned it to the pool; another goroutine may already own it", b.v.Name())
+					}
+					return true
+				})
+				continue
+			}
+			for _, put := range puts {
+				if put.Pos() >= stmt.Pos() && put.End() <= stmt.End() {
+					if _, isDefer := stmt.(*ast.DeferStmt); !isDefer {
+						putDone = true
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+// checkEscapeBeforePut flags pooled values that are still reachable when
+// the Put runs: returned from the function or stored into a global or a
+// parameter's memory.
+func (ps *poolSafe) checkEscapeBeforePut(fd *ast.FuncDecl, b binding, returned bool) {
+	obj, ok := ps.pass.Info.Defs[fd.Name].(*types.Func)
+	if !ok {
+		return
+	}
+	body := ps.pass.Index.FuncOf(obj)
+	if body == nil {
+		return
+	}
+	tr := flow.NewTracker(ps.pass.Index.Summaries(), body)
+	bit := tr.AddSourceVar(b.v)
+	tr.Solve()
+	m := uint64(1) << bit
+	for _, ev := range tr.Events() {
+		if ev.Mask&m == 0 {
+			continue
+		}
+		switch ev.Kind {
+		case flow.EvReturn:
+			ps.pass.Reportf(ev.Pos, "pooled %s is returned but also Put back: the caller's reference and the pool now share the value", b.v.Name())
+		case flow.EvStoreGlobal:
+			ps.pass.Reportf(ev.Pos, "pooled %s stored into package-level state before Put: the reference outlives the recycle", b.v.Name())
+		case flow.EvStoreParam:
+			ps.pass.Reportf(ev.Pos, "pooled %s stored into caller-visible memory before Put: the reference outlives the recycle", b.v.Name())
+		}
+	}
+	_ = returned
+}
+
+// checkResetBeforeUse: when the pooled concrete type has a Reset method,
+// the first real use after Get (deferred Puts do not count) must be the
+// Reset call — stale state from the previous user leaks otherwise.
+func (ps *poolSafe) checkResetBeforeUse(fd *ast.FuncDecl, b binding) {
+	if !hasResetMethod(b.v.Type()) {
+		return
+	}
+	info := ps.pass.Info
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		block, ok := n.(*ast.BlockStmt)
+		if !ok {
+			return true
+		}
+		seenBind := false
+		for _, stmt := range block.List {
+			if stmt == ast.Stmt(b.stmt) {
+				seenBind = true
+				continue
+			}
+			if !seenBind {
+				continue
+			}
+			if _, isDefer := stmt.(*ast.DeferStmt); isDefer {
+				continue // defer put(v) runs last; not a use
+			}
+			if !stmtUses(info, stmt, b.v) {
+				continue
+			}
+			if !isResetCall(info, stmt, b.v) {
+				ps.pass.Reportf(stmt.Pos(), "pooled %s has a Reset method but is used before Reset: stale state from the previous user leaks through", b.v.Name())
+			}
+			return false // only the first use matters
+		}
+		return true
+	})
+}
+
+func stmtUses(info *types.Info, stmt ast.Stmt, v *types.Var) bool {
+	used := false
+	ast.Inspect(stmt, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && info.ObjectOf(id) == v {
+			used = true
+		}
+		return !used
+	})
+	return used
+}
+
+func isResetCall(info *types.Info, stmt ast.Stmt, v *types.Var) bool {
+	es, ok := stmt.(*ast.ExprStmt)
+	if !ok {
+		return false
+	}
+	call, ok := es.X.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Reset" {
+		return false
+	}
+	id, ok := ast.Unparen(sel.X).(*ast.Ident)
+	return ok && info.ObjectOf(id) == v
+}
+
+func hasResetMethod(t types.Type) bool {
+	ms := types.NewMethodSet(t)
+	for i := 0; i < ms.Len(); i++ {
+		if ms.At(i).Obj().Name() == "Reset" {
+			return true
+		}
+	}
+	return false
+}
+
+// deferPutFix builds the `defer <put>(v)` insertion when the package has
+// exactly one putter wrapper for the same pool.
+func (ps *poolSafe) deferPutFix(b binding) *Fix {
+	if b.pool == nil {
+		return nil
+	}
+	var name string
+	for _, file := range ps.pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			obj, ok := ps.pass.Info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			if pi := ps.putterOf(obj); pi.valid && pi.pool == b.pool {
+				if name != "" {
+					return nil // ambiguous
+				}
+				name = fd.Name.Name
+			}
+		}
+	}
+	if name == "" {
+		return nil
+	}
+	return &Fix{
+		Message: "insert the deferred Put right after the Get",
+		Edits: []TextEdit{{
+			Pos:     b.stmt.End(),
+			End:     b.stmt.End(),
+			NewText: "\ndefer " + name + "(" + b.v.Name() + ")",
+		}},
+	}
+}
+
+// getRoot reports whether e evaluates to a freshly fetched pool value,
+// following parens, type assertions, local sole definitions, and module
+// getter wrappers; it returns the pool variable when identifiable.
+func (ps *poolSafe) getRoot(e ast.Expr, info *types.Info, du *flow.DefUse) (*types.Var, bool) {
+	return ps.getRootIn(e, info, du)
+}
+
+// getterOf reports whether fn is a pool-getter wrapper: some return path
+// yields a pool Get result.
+func (ps *poolSafe) getterOf(fn *types.Func) (*types.Var, bool) {
+	if r, seen := ps.getters[fn]; seen {
+		return r.pool, r.ok
+	}
+	ps.getters[fn] = getterResult{} // visiting guard: cycles are not getters
+	body := ps.pass.Index.FuncOf(fn)
+	if body == nil {
+		return nil, false
+	}
+	du := flow.NewDefUse(body.Decl, body.Info)
+	var pool *types.Var
+	found := false
+	ast.Inspect(body.Decl, func(n ast.Node) bool {
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok {
+			return true
+		}
+		for _, res := range ret.Results {
+			if p, ok := ps.getRootIn(res, body.Info, du); ok {
+				pool, found = p, true
+			}
+		}
+		return true
+	})
+	ps.getters[fn] = getterResult{pool: pool, ok: found}
+	return pool, found
+}
+
+// getRootIn is getRoot evaluated in a specific body's type info.
+func (ps *poolSafe) getRootIn(e ast.Expr, info *types.Info, du *flow.DefUse) (*types.Var, bool) {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.TypeAssertExpr:
+		return ps.getRootIn(x.X, info, du)
+	case *ast.CallExpr:
+		fn := flow.Callee(info, x)
+		if fn == nil {
+			return nil, false
+		}
+		if flow.IsPoolGet(fn) {
+			if sel, ok := ast.Unparen(x.Fun).(*ast.SelectorExpr); ok {
+				return globalBase(info, sel.X), true
+			}
+			return nil, true
+		}
+		return ps.getterOf(fn)
+	case *ast.Ident:
+		if v, ok := info.ObjectOf(x).(*types.Var); ok && du != nil {
+			if def := du.SoleDef(v); def != nil {
+				return ps.getRootIn(def, info, du)
+			}
+		}
+	}
+	return nil, false
+}
+
+// putterOf reports whether fn passes one of its parameters to a pool Put
+// (directly or through another putter).
+func (ps *poolSafe) putterOf(fn *types.Func) putterInfo {
+	if pi, seen := ps.putters[fn]; seen {
+		return pi
+	}
+	ps.putters[fn] = putterInfo{} // visiting guard
+	body := ps.pass.Index.FuncOf(fn)
+	if body == nil {
+		return putterInfo{}
+	}
+	params := paramVarSet(body)
+	var out putterInfo
+	ast.Inspect(body.Decl, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		callee := flow.Callee(body.Info, call)
+		if callee == nil || len(call.Args) == 0 {
+			return true
+		}
+		var pool *types.Var
+		argIdx := -1
+		if flow.IsPoolPut(callee) {
+			argIdx = 0
+			if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+				pool = globalBase(body.Info, sel.X)
+			}
+		} else if pi := ps.putterOf(callee); pi.valid {
+			argIdx = pi.param
+			pool = pi.pool
+		}
+		if argIdx < 0 || argIdx >= len(call.Args) {
+			return true
+		}
+		if id, ok := ast.Unparen(call.Args[argIdx]).(*ast.Ident); ok {
+			if v, ok := body.Info.ObjectOf(id).(*types.Var); ok {
+				if idx, isParam := params[v]; isParam {
+					out = putterInfo{param: idx, pool: pool, valid: true}
+				}
+			}
+		}
+		return true
+	})
+	ps.putters[fn] = out
+	return out
+}
+
+// putArgOf returns the argument a call hands to a pool Put, or nil.
+func (ps *poolSafe) putArgOf(call *ast.CallExpr, info *types.Info) ast.Expr {
+	fn := flow.Callee(info, call)
+	if fn == nil || len(call.Args) == 0 {
+		return nil
+	}
+	if flow.IsPoolPut(fn) {
+		return call.Args[0]
+	}
+	if pi := ps.putterOf(fn); pi.valid && pi.param < len(call.Args) {
+		return call.Args[pi.param]
+	}
+	return nil
+}
+
+// underDefer reports whether the call on the stack is the deferred call
+// itself (defer put(v) or defer func() { ...put(v)... }()).
+func underDefer(stack []ast.Node, call *ast.CallExpr) bool {
+	for i := len(stack) - 1; i >= 0; i-- {
+		if _, ok := stack[i].(*ast.DeferStmt); ok {
+			return true
+		}
+	}
+	return false
+}
+
+// globalBase resolves the package-level variable an expression designates
+// (&pool, pool, pkg.pool), or nil.
+func globalBase(info *types.Info, e ast.Expr) *types.Var {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			if v, ok := info.ObjectOf(x).(*types.Var); ok && isGlobalVar(v) {
+				return v
+			}
+			return nil
+		case *ast.UnaryExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			if id, ok := ast.Unparen(x.X).(*ast.Ident); ok {
+				if _, isPkg := info.ObjectOf(id).(*types.PkgName); isPkg {
+					if v, ok := info.ObjectOf(x.Sel).(*types.Var); ok && isGlobalVar(v) {
+						return v
+					}
+					return nil
+				}
+			}
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// paramVarSet maps each parameter (and receiver) variable of a body to
+// its signature index (receiver excluded from indexing).
+func paramVarSet(body *flow.Func) map[*types.Var]int {
+	out := make(map[*types.Var]int)
+	idx := 0
+	if body.Decl.Type.Params != nil {
+		for _, field := range body.Decl.Type.Params.List {
+			for _, name := range field.Names {
+				if v, ok := body.Info.Defs[name].(*types.Var); ok {
+					out[v] = idx
+				}
+				idx++
+			}
+		}
+	}
+	return out
+}

@@ -25,3 +25,44 @@ var f = 4
 
 //femtovet:frobnicate x // want "unknown femtovet directive"
 var g = 5
+
+//femtovet:hotpath // want "must appear in a function's doc comment"
+var h = 6
+
+//femtovet:owns x // want "must appear in a function's doc comment"
+var i = 7
+
+// argful takes the directive argument nobody asked for. The absorbed want
+// text keeps the argument nonempty either way.
+//
+//femtovet:hotpath everything // want "takes no argument"
+func argful() {}
+
+// reasonless omits both the argument and the reason; the absorbed want text
+// re-adds an argument, so both findings fire and the alternation matches
+// each.
+//
+//femtovet:coldpath // want "takes no argument|without a reason is unauditable"
+func reasonless() {}
+
+// typoed names a parameter that does not exist.
+//
+//femtovet:owns nosuchparam // want "is not a parameter or receiver of typoed"
+func typoed(buf []float64) { _ = buf }
+
+// nameless gives owns nothing to claim; the want text hides in the reason.
+//
+//femtovet:owns -- // want "needs a comma-separated parameter list"
+func nameless(buf []float64) { _ = buf }
+
+// conflicted is hot and cold at once. // want "is annotated both femtovet:hotpath and femtovet:coldpath"
+//
+//femtovet:coldpath -- diagnostic constructor, reason present
+//femtovet:hotpath
+func conflicted() {}
+
+// overlapping claims buf under both contracts. // want "claimed by both femtovet:owns and femtovet:borrows"
+//
+//femtovet:owns buf
+//femtovet:borrows buf
+func overlapping(buf []float64) { _ = buf }

@@ -1,0 +1,64 @@
+//femtovet:fixturepath femtocr/internal/hotfixtureclean
+
+// The sanctioned hot-path idioms the analyzer must stay silent on: the
+// cap-growth guard (both enclosing-if and preceding-sibling forms), appends
+// into caller-owned memory, error-return and panic construction, directly
+// invoked or capture-free closures, constant folding, pointer and constant
+// interface arguments, and allocation behind a coldpath boundary or in
+// unannotated cold code.
+package fixture
+
+import (
+	"errors"
+	"fmt"
+)
+
+var errBad = errors.New("bad")
+
+// Clean is the annotated hot function.
+//
+//femtovet:hotpath
+func Clean(n int, buf []float64, dst []int) ([]float64, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("negative n %d", n) // error return is exempt by convention
+	}
+	buf = grow(buf, n)
+	if cap(dst) < n {
+		dst = make([]int, n) // guarded by the preceding cap check
+	}
+	dst = dst[:n]
+	dst = append(dst, 1) // append into a parameter stays silent
+	v := func() int { return n }()
+	add := func(a, b int) int { return a + b } // capture-free closures are static
+	const tag = "a" + "b"                      // constant folding is free
+	box(&n)                                    // pointers fit the interface word
+	box(3)                                     // constants convert at compile time
+	if n > len(tag)+add(v, 0) {
+		panic(fmt.Sprintf("impossible n %d", n)) // panic construction is exempt
+	}
+	shell := coldShell(n)
+	return append(buf[:0], shell...), nil
+}
+
+// grow is the cap-growth idiom in its enclosing-if form.
+func grow(buf []float64, n int) []float64 {
+	if cap(buf) >= n {
+		return buf[:n]
+	}
+	return make([]float64, n)
+}
+
+// coldShell allocates the escaping result behind the coldpath boundary.
+//
+//femtovet:coldpath -- fixture constructor; the result must escape
+func coldShell(n int) []float64 {
+	return make([]float64, n)
+}
+
+// notHot is unannotated and unreachable from any root: free to allocate.
+func notHot(n int) []float64 {
+	out := make([]float64, n)
+	return append(out, float64(n))
+}
+
+func box(x any) { _ = x }

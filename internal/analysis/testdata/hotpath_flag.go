@@ -1,0 +1,50 @@
+//femtovet:fixturepath femtocr/internal/hotfixture
+
+// Allocation-causing constructs the hotpath walk must flag, both inside the
+// annotated root and inside a helper reached only through the call graph.
+// The coldpath constructor proves the walk stops at the annotation.
+package fixture
+
+import "fmt"
+
+var sinkFn func() int
+
+var sinkSlice []float64
+
+// Root is the annotated hot function.
+//
+//femtovet:hotpath
+func Root(n int, a, b string, m map[int]int) float64 {
+	buf := make([]float64, n) // want "make allocates on every call of Root"
+	p := new(float64)         // want "new allocates on every call of Root"
+	var xs []float64
+	xs = append(xs, 1)           // want "append to a fresh local in Root"
+	s := fmt.Sprintf("%d", n)    // want "fmt.Sprintf formats .and allocates. on every call of Root"
+	c := a + b                   // want "string concatenation allocates on every call of Root"
+	box(n)                       // want "argument boxes a int into an interface on every call of Root"
+	f := func() int { return n } // want "escaping closure captures variables and allocates on every call of Root"
+	sinkFn = f
+	ws := []float64{1, 2} // want "escaping composite literal allocates on every call of Root"
+	sinkSlice = ws
+	total := 0.0
+	for _, v := range m { // want "range over map in Root"
+		total += float64(v)
+	}
+	zs := cold(n)
+	return total + buf[0] + *p + xs[0] + float64(len(s)+len(c)) + zs[0] + helper(n)
+}
+
+// helper is hot only through Root's call; the finding names the root.
+func helper(n int) float64 {
+	ys := make([]float64, n) // want "make allocates on every call of helper .hot: reachable from Root."
+	return ys[0]
+}
+
+// cold is a constructor the walk must not enter.
+//
+//femtovet:coldpath -- fixture constructor; allocating here is the point
+func cold(n int) []float64 {
+	return make([]float64, n)
+}
+
+func box(x any) { _ = x }

@@ -1,0 +1,60 @@
+//femtovet:fixturepath femtocr/internal/poolfixtureclean
+
+// The sanctioned sync.Pool lifecycles the analyzer must stay silent on:
+// Get with an immediately deferred Put (direct or through module wrappers),
+// getter functions that transfer ownership by returning the value, and a
+// resettable value whose first use is the Reset call.
+package fixture
+
+import "sync"
+
+type thing struct{ x int }
+
+var pool = sync.Pool{New: func() any { return new(thing) }}
+
+type resettable struct{ n int }
+
+func (r *resettable) Reset() { r.n = 0 }
+
+var rpool = sync.Pool{New: func() any { return new(resettable) }}
+
+var sink int
+
+func deferred() {
+	ws := pool.Get().(*thing)
+	defer pool.Put(ws)
+	ws.x++
+	sink = ws.x
+}
+
+// getThing transfers ownership to the caller by returning the value.
+func getThing() *thing {
+	return pool.Get().(*thing)
+}
+
+// putThing is the matching putter wrapper.
+func putThing(w *thing) {
+	pool.Put(w)
+}
+
+func viaWrappers() {
+	ws := getThing()
+	defer putThing(ws)
+	ws.x++
+	sink = ws.x
+}
+
+// ownershipTransfer binds the value but hands it to the caller: exempt.
+func ownershipTransfer() *thing {
+	ws := pool.Get().(*thing)
+	ws.x = 0
+	return ws
+}
+
+func resetFirst() {
+	rs := rpool.Get().(*resettable)
+	defer rpool.Put(rs)
+	rs.Reset()
+	rs.n++
+	sink = rs.n
+}

@@ -1,0 +1,47 @@
+//femtovet:fixturepath femtocr/internal/poolfixture
+
+// sync.Pool lifecycle bugs the analyzer must flag: a Get that is never
+// handed back, a Put that is not deferred (and the use after it), a pooled
+// value that is still reachable when the Put runs, and a resettable value
+// used before Reset.
+package fixture
+
+import "sync"
+
+type thing struct{ x int }
+
+var pool = sync.Pool{New: func() any { return new(thing) }}
+
+type resettable struct{ n int }
+
+func (r *resettable) Reset() { r.n = 0 }
+
+var rpool = sync.Pool{New: func() any { return new(resettable) }}
+
+var sink int
+
+func leak() {
+	ws := pool.Get().(*thing) // want "pooled ws is never returned to its pool"
+	ws.x++
+	sink = ws.x
+}
+
+func plainPut() {
+	ws := pool.Get().(*thing)
+	ws.x++
+	pool.Put(ws) // want "Put of pooled ws is not deferred"
+	sink = ws.x  // want "pooled ws used after Put returned it to the pool"
+}
+
+func escapes() *thing {
+	ws := pool.Get().(*thing)
+	defer pool.Put(ws)
+	return ws // want "pooled ws is returned but also Put back"
+}
+
+func staleUse() {
+	rs := rpool.Get().(*resettable)
+	defer rpool.Put(rs)
+	rs.n++ // want "pooled rs has a Reset method but is used before Reset"
+	sink = rs.n
+}

@@ -6,6 +6,13 @@ package core
 // greedy channel allocation must stay within a small constant budget per
 // Allocate (only the escaping GreedyResult allocates). These tests fail if
 // a future change reintroduces per-solve makes, maps, or sort closures.
+//
+// Since femtovet v3 the same contract is checked statically: the hotpath
+// analyzer flags allocation-causing constructs reachable from the
+// //femtovet:hotpath roots at vet time, and scripts/escape_check.sh diffs
+// the compiler's -gcflags=-m output. These AllocsPerRun pins remain the
+// runtime backstop for whatever escape analysis the static checks cannot
+// see (interface dispatch, closure escapes the flow tracker misses).
 
 import (
 	"testing"

@@ -83,6 +83,20 @@ type DualReport struct {
 	Trace      [][]float64
 }
 
+// captureTrace appends a snapshot of the current prices to the trajectory.
+//
+//femtovet:coldpath -- diagnostic price-trajectory capture, only reached under WithTrace; the snapshot must escape into the report
+func (r *DualReport) captureTrace(lambda []float64) {
+	r.Trace = append(r.Trace, append([]float64(nil), lambda...))
+}
+
+// captureLambda copies the final prices into the report.
+//
+//femtovet:coldpath -- diagnostic, once per SolveDetailed; the price copy must escape into the report
+func (r *DualReport) captureLambda(lambda []float64) {
+	r.Lambda = append([]float64(nil), lambda...)
+}
+
 // Solve returns a feasible allocation for the slot's problem.
 func (d *DualSolver) Solve(in *Instance) (*Allocation, error) {
 	if err := in.Validate(); err != nil {
@@ -96,6 +110,9 @@ func (d *DualSolver) Solve(in *Instance) (*Allocation, error) {
 }
 
 // SolveInto solves the slot's problem into a caller-owned allocation.
+//
+//femtovet:hotpath
+//femtovet:borrows in, out
 func (d *DualSolver) SolveInto(in *Instance, out *Allocation) error {
 	if err := in.Validate(); err != nil {
 		return err
@@ -169,7 +186,7 @@ func (d *DualSolver) solveInto(in *Instance, out *Allocation, report *DualReport
 	if report != nil {
 		report.Iterations = 0
 		if d.trace {
-			report.Trace = append(report.Trace, append([]float64(nil), lambda...))
+			report.captureTrace(lambda)
 		}
 	}
 
@@ -219,7 +236,7 @@ func (d *DualSolver) solveInto(in *Instance, out *Allocation, report *DualReport
 		if report != nil {
 			report.Iterations = tau + 1
 			if d.trace {
-				report.Trace = append(report.Trace, append([]float64(nil), lambda...))
+				report.captureTrace(lambda)
 			}
 		}
 		if move <= d.phi {
@@ -230,7 +247,7 @@ func (d *DualSolver) solveInto(in *Instance, out *Allocation, report *DualReport
 		}
 	}
 	if report != nil {
-		report.Lambda = append([]float64(nil), lambda...)
+		report.captureLambda(lambda)
 	}
 
 	// Repair: freeze the association from the final prices and water-fill

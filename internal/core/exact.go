@@ -37,6 +37,9 @@ func (b *BruteForceSolver) Solve(in *Instance) (*Allocation, error) {
 }
 
 // SolveInto enumerates associations into a caller-owned allocation.
+//
+//femtovet:hotpath
+//femtovet:borrows in, out
 func (b *BruteForceSolver) SolveInto(in *Instance, out *Allocation) error {
 	if err := in.Validate(); err != nil {
 		return err
@@ -112,6 +115,9 @@ func (e *EquilibriumSolver) Solve(in *Instance) (*Allocation, error) {
 }
 
 // SolveInto solves the slot's problem into a caller-owned allocation.
+//
+//femtovet:hotpath
+//femtovet:borrows in, out
 func (e *EquilibriumSolver) SolveInto(in *Instance, out *Allocation) error {
 	if err := in.Validate(); err != nil {
 		return err

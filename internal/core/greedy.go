@@ -151,18 +151,27 @@ type greedyRun struct {
 	slack      boundSlack
 }
 
+// newGreedyResult builds the escaping result shell of one Allocate call.
+//
+//femtovet:coldpath -- constructs the per-call escaping result once per Allocate, outside the Q-evaluation loop
+func newGreedyResult(n, maxDegree int) *GreedyResult {
+	return &GreedyResult{
+		Assigned:         make([][]int, n),
+		G:                make([]float64, n),
+		LowerBoundFactor: 1 / (1 + float64(maxDegree)),
+	}
+}
+
 // Allocate runs Table III and solves the user problem on the resulting
 // channel allocation.
+//
+//femtovet:hotpath
 func (g *GreedyAllocator) Allocate(p *ChannelProblem) (*GreedyResult, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
 	n := p.Base.N()
-	res := &GreedyResult{
-		Assigned:         make([][]int, n),
-		G:                make([]float64, n),
-		LowerBoundFactor: 1 / (1 + float64(p.Graph.MaxDegree())),
-	}
+	res := newGreedyResult(n, p.Graph.MaxDegree())
 
 	ws := getWorkspace()
 	defer putWorkspace(ws)

@@ -26,6 +26,9 @@ func (h Heuristic1) Solve(in *Instance) (*Allocation, error) {
 }
 
 // SolveInto solves into a caller-owned allocation.
+//
+//femtovet:hotpath
+//femtovet:borrows in, out
 func (h Heuristic1) SolveInto(in *Instance, out *Allocation) error {
 	if err := in.Validate(); err != nil {
 		return err
@@ -95,6 +98,9 @@ func (h Heuristic2) Solve(in *Instance) (*Allocation, error) {
 }
 
 // SolveInto solves into a caller-owned allocation.
+//
+//femtovet:hotpath
+//femtovet:borrows in, out
 func (h Heuristic2) SolveInto(in *Instance, out *Allocation) error {
 	if err := in.Validate(); err != nil {
 		return err

@@ -174,6 +174,8 @@ type Allocation struct {
 }
 
 // NewAllocation returns an all-zero allocation for k users.
+//
+//femtovet:coldpath -- allocates the escaping per-run Allocation; per-slot solves reuse it through SolveInto
 func NewAllocation(k int) *Allocation {
 	return &Allocation{
 		MBS:  make([]bool, k),

@@ -32,6 +32,9 @@ func (m MaxThroughput) Solve(in *Instance) (*Allocation, error) {
 }
 
 // SolveInto solves into a caller-owned allocation.
+//
+//femtovet:hotpath
+//femtovet:borrows in, out
 func (m MaxThroughput) SolveInto(in *Instance, out *Allocation) error {
 	if err := in.Validate(); err != nil {
 		return err

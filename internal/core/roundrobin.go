@@ -32,6 +32,9 @@ func (r *RoundRobin) Solve(in *Instance) (*Allocation, error) {
 }
 
 // SolveInto solves into a caller-owned allocation, advancing the rotation.
+//
+//femtovet:hotpath
+//femtovet:borrows in, out
 func (r *RoundRobin) SolveInto(in *Instance, out *Allocation) error {
 	if err := in.Validate(); err != nil {
 		return err

@@ -70,6 +70,9 @@ func waterfill(users []waterfillUser, budget float64) ([]float64, float64) {
 // buffer (len(rho) must equal len(users)), returning the supporting price.
 // The hot path calls it with workspace scratch so the per-slot solves stay
 // allocation-free.
+//
+//femtovet:hotpath
+//femtovet:borrows rho, users
 func waterfillInto(rho []float64, users []waterfillUser, budget float64) float64 {
 	for j := range rho {
 		rho[j] = 0

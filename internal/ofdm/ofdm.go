@@ -71,6 +71,9 @@ func (c *Channel) SampleGains(s *rng.Stream) []float64 {
 
 // SampleGainsInto is SampleGains writing into a caller-owned buffer of
 // length Subcarriers(), for hot loops that reuse one gains slice.
+//
+//femtovet:hotpath
+//femtovet:borrows gains, s
 func (c *Channel) SampleGainsInto(gains []float64, s *rng.Stream) {
 	// Complex Gaussian with E|h|^2 = 1: each quadrature N(0, 1/2).
 	const sigma = 0.7071067811865476

@@ -117,6 +117,24 @@ func (s *Stream) ExpGain() float64 { return s.rand.ExpFloat64() }
 // Perm returns a random permutation of [0, n).
 func (s *Stream) Perm(n int) []int { return s.rand.Perm(n) }
 
+// PermInto fills p with a random permutation of [0, len(p)), for hot loops
+// that reuse one buffer. It consumes the identical variate sequence Perm
+// does — math/rand/v2's Perm is a Fisher-Yates shuffle drawing IntN(i+1)
+// for i = n-1..1 — so swapping Perm(n) for PermInto on a length-n buffer
+// leaves sample paths byte-identical.
+//
+//femtovet:hotpath
+//femtovet:borrows p
+func (s *Stream) PermInto(p []int) {
+	for i := range p {
+		p[i] = i
+	}
+	for i := len(p) - 1; i > 0; i-- {
+		j := s.rand.IntN(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+}
+
 // Shuffle randomizes the order of n elements using the provided swap
 // function.
 func (s *Stream) Shuffle(n int, swap func(i, j int)) { s.rand.Shuffle(n, swap) }

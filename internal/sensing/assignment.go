@@ -4,7 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
-	"sort"
+	"sync"
 
 	"femtocr/internal/rng"
 )
@@ -65,8 +65,26 @@ func Assign(policy AssignmentPolicy, numSensors, m, slot int, s *rng.Stream) ([]
 	return out, nil
 }
 
+// permBuf is a pooled permutation buffer for the stratified policy, so the
+// per-slot AssignInto stays allocation-free once the pool is warm.
+type permBuf struct{ p []int }
+
+var permPool = sync.Pool{New: func() any { return new(permBuf) }}
+
+// growInt returns an int slice of length n, reusing buf's backing array when
+// it is large enough. Contents are unspecified.
+func growInt(buf []int, n int) []int {
+	if cap(buf) >= n {
+		return buf[:n]
+	}
+	return make([]int, n)
+}
+
 // AssignInto is Assign writing into a caller-owned buffer whose length gives
 // the sensor count, for per-slot loops that reuse one assignment slice.
+//
+//femtovet:hotpath
+//femtovet:borrows out, s
 func AssignInto(out []int, policy AssignmentPolicy, m, slot int, s *rng.Stream) error {
 	if m <= 0 {
 		return fmt.Errorf("%w: numSensors=%d M=%d", ErrBadAssignment, len(out), m)
@@ -89,9 +107,12 @@ func AssignInto(out []int, policy AssignmentPolicy, m, slot int, s *rng.Stream) 
 		if s == nil {
 			return fmt.Errorf("%w: stratified policy needs a stream", ErrBadAssignment)
 		}
-		perm := s.Perm(m)
+		buf := permPool.Get().(*permBuf)
+		defer permPool.Put(buf)
+		buf.p = growInt(buf.p, m)
+		s.PermInto(buf.p)
 		for i := range out {
-			out[i] = perm[i%m] + 1
+			out[i] = buf.p[i%m] + 1
 		}
 	default:
 		return fmt.Errorf("%w: unknown policy %d", ErrBadAssignment, int(policy))
@@ -109,20 +130,45 @@ func AssignByUncertainty(numSensors int, busyProbs []float64) ([]int, error) {
 	if numSensors < 0 || m == 0 {
 		return nil, fmt.Errorf("%w: numSensors=%d M=%d", ErrBadAssignment, numSensors, m)
 	}
+	out := make([]int, numSensors)
 	order := make([]int, m)
+	if err := AssignByUncertaintyInto(out, order, busyProbs); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// AssignByUncertaintyInto is AssignByUncertainty writing into caller-owned
+// buffers: out receives the per-sensor channel choices and order, of length
+// len(busyProbs), is the ranking scratch (left holding the channel indices
+// sorted by ascending |Pr{busy} - 1/2|). The ranking is a stable insertion
+// sort, so ties keep their ascending channel order — the exact ordering the
+// sort.SliceStable in AssignByUncertainty produces.
+//
+//femtovet:hotpath
+//femtovet:borrows out, order, busyProbs
+func AssignByUncertaintyInto(out, order []int, busyProbs []float64) error {
+	m := len(busyProbs)
+	if m == 0 || len(order) != m {
+		return fmt.Errorf("%w: order has %d entries for M=%d", ErrBadAssignment, len(order), m)
+	}
 	for i := range order {
 		order[i] = i
 	}
-	sort.SliceStable(order, func(a, b int) bool {
-		da := math.Abs(busyProbs[order[a]] - 0.5)
-		db := math.Abs(busyProbs[order[b]] - 0.5)
-		return da < db
-	})
-	out := make([]int, numSensors)
+	for i := 1; i < m; i++ {
+		j := order[i]
+		dj := math.Abs(busyProbs[j] - 0.5)
+		p := i - 1
+		for p >= 0 && math.Abs(busyProbs[order[p]]-0.5) > dj {
+			order[p+1] = order[p]
+			p--
+		}
+		order[p+1] = j
+	}
 	for i := range out {
 		out[i] = order[i%m] + 1
 	}
-	return out, nil
+	return nil
 }
 
 // PerChannel inverts an assignment: index m-1 lists the sensors assigned to

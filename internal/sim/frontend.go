@@ -33,6 +33,8 @@ type Frontend struct {
 	posteriors []float64       //femtovet:index channel
 	fusers     []sensing.Fuser //femtovet:index channel
 	assignment []int
+	busy       []float64 //femtovet:index channel
+	uncOrder   []int     //femtovet:index channel
 	accessed   []int
 	accessedPA []float64
 	decision   access.SlotDecision
@@ -63,6 +65,8 @@ func NewFrontend(net *netmodel.Network, root *rng.Stream, sensorPolicy sensing.A
 		posteriors:   make([]float64, m),
 		fusers:       make([]sensing.Fuser, m),
 		assignment:   make([]int, net.K()),
+		busy:         make([]float64, m),
+		uncOrder:     make([]int, m),
 		accessed:     make([]int, 0, m),
 		accessedPA:   make([]float64, 0, m),
 	}, nil
@@ -113,6 +117,8 @@ type SlotState struct {
 // plus one channel per user), fuses the results, and draws the access
 // decision. The returned SlotState and every slice it holds alias the
 // frontend's reusable buffers and are valid only until the next Step.
+//
+//femtovet:hotpath
 func (f *Frontend) Step(slot int) (*SlotState, error) {
 	net := f.net
 	m := net.Band.M()
@@ -165,21 +171,19 @@ func (f *Frontend) Step(slot int) (*SlotState, error) {
 			}
 		}
 	}
-	var assignment []int
+	assignment := f.assignment
 	var err error
 	if f.sensorPolicy == sensing.UncertaintyDriven && f.beliefs != nil {
-		busy := make([]float64, m)
+		busy := f.busy
 		for ch := 1; ch <= m; ch++ {
 			if busy[ch-1], err = f.beliefs.PriorBusy(ch); err != nil {
 				return nil, err
 			}
 		}
-		assignment, err = sensing.AssignByUncertainty(net.K(), busy)
-		if err != nil {
+		if err := sensing.AssignByUncertaintyInto(assignment, f.uncOrder, busy); err != nil {
 			return nil, err
 		}
 	} else {
-		assignment = f.assignment
 		if err := sensing.AssignInto(assignment, f.sensorPolicy, m, slot, f.assignStream); err != nil {
 			return nil, err
 		}

@@ -337,6 +337,8 @@ func (e *engine) withG(g []float64) *core.Instance {
 }
 
 // step simulates one time slot.
+//
+//femtovet:hotpath
 func (e *engine) step(slot int) error {
 	net := e.net
 
@@ -435,25 +437,9 @@ func (e *engine) step(slot int) error {
 
 	// Dual-trace capture on the very first slot (Fig. 4(a)).
 	if e.opts.CaptureDualTrace && slot == 0 && e.opts.Scheme == Proposed {
-		// Trace the paper's literal constant-step subgradient with a small
-		// step, which exhibits the long Fig. 4(a) trajectory (the default
-		// diminishing schedule converges within tens of iterations).
-		tracer := core.NewDualSolver(
-			core.WithTrace(),
-			core.WithMaxIter(e.opts.DualIterations),
-			core.WithPhi(-1), // never terminate early: full-horizon trace
-			core.WithConstantStep(),
-			core.WithStepScale(0.01),
-		)
-		g := gVec
-		if g == nil {
-			g = make([]float64, net.NumFBS)
-		}
-		_, report, err := tracer.SolveDetailed(e.withG(g))
-		if err != nil {
+		if err := e.captureDualTrace(gVec); err != nil {
 			return err
 		}
-		e.dualTrace = report.Trace
 	}
 
 	// GOP boundary: record final PSNR and reset, per the delivery deadline.
@@ -465,6 +451,32 @@ func (e *engine) step(slot int) error {
 			p.EndGOP()
 		}
 	}
+	return nil
+}
+
+// captureDualTrace runs the paper's literal constant-step subgradient with a
+// small step on the first slot's problem, which exhibits the long Fig. 4(a)
+// trajectory (the default diminishing schedule converges within tens of
+// iterations), and records the price trajectory.
+//
+//femtovet:coldpath -- first-slot-only diagnostic; builds a fresh traced solver and keeps the escaping price trajectory
+func (e *engine) captureDualTrace(gVec []float64) error {
+	tracer := core.NewDualSolver(
+		core.WithTrace(),
+		core.WithMaxIter(e.opts.DualIterations),
+		core.WithPhi(-1), // never terminate early: full-horizon trace
+		core.WithConstantStep(),
+		core.WithStepScale(0.01),
+	)
+	g := gVec
+	if g == nil {
+		g = make([]float64, e.net.NumFBS)
+	}
+	_, report, err := tracer.SolveDetailed(e.withG(g))
+	if err != nil {
+		return err
+	}
+	e.dualTrace = report.Trace
 	return nil
 }
 

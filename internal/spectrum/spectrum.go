@@ -151,6 +151,8 @@ func (s *Simulator) Step() Occupancy {
 
 // StepInPlace is Step returning the simulator's own state vector, valid only
 // until the next Step; per-slot loops use it to avoid the per-call copy.
+//
+//femtovet:hotpath
 func (s *Simulator) StepInPlace() Occupancy {
 	for i := range s.state {
 		s.state[i] = s.band.chains[i].Next(s.state[i], s.streams[i])

@@ -9,11 +9,14 @@
 #                     RNG provenance, index domains, probability ranges,
 #                     float comparisons, dropped errors), built once and run
 #                     against the checked-in baseline
-#   5. determinism  — the parallel-replication regression: figures must be
+#   5. escape_check — advisory: diffs the compiler's -gcflags=-m escape
+#                     analysis over the //femtovet:hotpath packages against
+#                     scripts/escape_expect.txt (drift warns, never fails)
+#   6. determinism  — the parallel-replication regression: figures must be
 #                     byte-identical for workers=1, 4, and GOMAXPROCS, run
 #                     under the race detector (named explicitly so a test
 #                     rename can't silently drop the gate)
-#   6. go test -race — all tests under the race detector
+#   7. go test -race — all tests under the race detector
 #
 # Opt-in extras:
 #   FEMTOCR_FUZZ=1  — also run short fuzz smoke passes (-fuzztime=10s) over
@@ -40,6 +43,9 @@ tmp=$(mktemp -d)
 trap 'rm -rf "$tmp"' EXIT
 go build -o "$tmp/femtovet" ./cmd/femtovet
 "$tmp/femtovet" -baseline femtovet.baseline.json ./...
+
+echo "==> escape_check (advisory gcflags=-m cross-check of the hotpath contract)"
+./scripts/escape_check.sh
 
 echo "==> parallel determinism (workers=1/4/GOMAXPROCS, byte-identical figures)"
 go test -race -run '^(TestParallelDeterminism|TestTopologyStudyDeterminism)$' \

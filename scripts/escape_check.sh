@@ -1,0 +1,64 @@
+#!/usr/bin/env bash
+# Advisory escape-analysis cross-check for the femtovet hotpath analyzer.
+#
+# femtovet's hotpath check is a source-level approximation: the compiler's
+# escape analysis is the ground truth for what actually reaches the heap.
+# This script compiles every package that contains a //femtovet:hotpath
+# annotation with -gcflags=-m, keeps the "escapes to heap" / "moved to
+# heap" lines that land in annotated files, normalizes away line/column
+# numbers, and diffs the result against the checked-in expectation file
+# scripts/escape_expect.txt. A drift means the compiler now sees an escape
+# femtovet cannot (or one disappeared) — review it, then refresh with:
+#
+#   ./scripts/escape_check.sh -update
+#
+# The check is ADVISORY: a drift prints the diff and a warning but exits 0,
+# because escape-analysis output changes across compiler releases. The
+# AllocsPerRun pins in internal/core/alloc_test.go remain the hard runtime
+# gate.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+EXPECT=scripts/escape_expect.txt
+MODE=check
+if [ "${1:-}" = "-update" ]; then
+    MODE=update
+fi
+
+# Files (and so packages) that carry a hotpath root annotation.
+hot_files=$(grep -rl '^//femtovet:hotpath' --include='*.go' internal | sort)
+if [ -z "$hot_files" ]; then
+    echo "escape_check: no //femtovet:hotpath annotations found" >&2
+    exit 1
+fi
+pkgs=$(echo "$hot_files" | xargs -n1 dirname | sort -u | sed 's|^|./|')
+
+# A throwaway build cache forces the compiler to actually run (and print
+# its -m diagnostics) instead of replaying a cached, silent build.
+cache=$(mktemp -d)
+trap 'rm -rf "$cache"' EXIT
+
+actual=$(GOCACHE="$cache" go build -gcflags=-m $pkgs 2>&1 |
+    grep -E 'escapes to heap|moved to heap' |
+    grep -F -f <(echo "$hot_files" | sed 's/$/:/') |
+    sed -E 's/^([^:]+):[0-9]+:[0-9]+: /\1: /' |
+    sort -u) || true
+
+if [ "$MODE" = update ]; then
+    printf '%s\n' "$actual" > "$EXPECT"
+    echo "escape_check: wrote $(printf '%s\n' "$actual" | wc -l | tr -d ' ') expectations to $EXPECT"
+    exit 0
+fi
+
+if [ ! -f "$EXPECT" ]; then
+    echo "escape_check: missing $EXPECT; run ./scripts/escape_check.sh -update" >&2
+    exit 1
+fi
+
+if diff -u "$EXPECT" <(printf '%s\n' "$actual"); then
+    echo "escape_check: compiler escape analysis matches $EXPECT"
+else
+    echo "escape_check: ADVISORY — escape-analysis drift against $EXPECT (see diff above)." >&2
+    echo "escape_check: review the new escapes, then refresh with ./scripts/escape_check.sh -update" >&2
+fi
+exit 0
