@@ -161,6 +161,9 @@ func run(stdout, stderr io.Writer, args []string) int {
 			fmt.Fprintln(errw, "femtovet:", err)
 			return 2
 		}
+		if stale := b.Stale(diags, mod.RelFile); stale > 0 {
+			fmt.Fprintf(errw, "femtovet: %d baselined finding(s) no longer occur; prune them from %s\n", stale, *baselinePath)
+		}
 		kept := b.Filter(diags, mod.RelFile)
 		baselined = len(diags) - len(kept)
 		diags = kept

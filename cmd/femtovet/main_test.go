@@ -28,7 +28,8 @@ func TestListAnalyzers(t *testing.T) {
 	}
 	for _, name := range []string{
 		"randsource", "mapiter", "floateq", "probrange", "errdrop",
-		"unitcheck", "seedflow", "idxdomain", "directives",
+		"unitcheck", "seedflow", "idxdomain", "hotpath", "poolsafe",
+		"aliascheck", "gridslot", "foldorder", "syncguard", "directives",
 	} {
 		if !strings.Contains(out.String(), name) {
 			t.Errorf("-list output missing %s:\n%s", name, out.String())
@@ -95,6 +96,25 @@ func TestWriteBaseline(t *testing.T) {
 	errb.Reset()
 	if code := run(&out, &errb, []string{"-baseline", path, "../..."}); code != 0 {
 		t.Fatalf("reusing written baseline: exit %d\nstderr:\n%s", code, errb.String())
+	}
+}
+
+// TestStaleBaselineWarning: entries whose findings were fixed no longer
+// match anything; the driver still exits 0 but tells the operator to prune
+// them, so a dead entry cannot silently absorb a future regression with
+// the same message.
+func TestStaleBaselineWarning(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "baseline.json")
+	stale := `{"version":1,"findings":[{"analyzer":"gridslot","file":"internal/experiments/parallel.go","message":"long-fixed finding","count":2}]}`
+	if err := os.WriteFile(path, []byte(stale), 0o644); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	var out, errb strings.Builder
+	if code := run(&out, &errb, []string{"-baseline", path, "../..."}); code != 0 {
+		t.Fatalf("exit %d\nstdout:\n%s\nstderr:\n%s", code, out.String(), errb.String())
+	}
+	if !strings.Contains(errb.String(), "2 baselined finding(s) no longer occur") {
+		t.Errorf("stderr missing stale-baseline warning:\n%s", errb.String())
 	}
 }
 

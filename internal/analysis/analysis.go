@@ -236,7 +236,7 @@ func All() []*Analyzer {
 	return []*Analyzer{
 		RandSource, MapIter, FloatEq, ProbRange, ErrDrop,
 		UnitCheck, SeedFlow, IdxDomain, HotPath, PoolSafe,
-		AliasCheck, Directives,
+		AliasCheck, GridSlot, FoldOrder, SyncGuard, Directives,
 	}
 }
 

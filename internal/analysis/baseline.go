@@ -87,6 +87,30 @@ func (b *Baseline) Encode() ([]byte, error) {
 	return append(data, '\n'), nil
 }
 
+// Stale returns how many baselined findings no longer occur: the leftover
+// entry budget after every current diagnostic has absorbed its match. A
+// positive count means the baseline over-approves — the recorded findings
+// were fixed and the entries should be pruned before they mask a
+// regression with the same message.
+func (b *Baseline) Stale(diags []Diagnostic, rel func(string) string) int {
+	budget := make(map[baselineKey]int)
+	for _, e := range b.Findings {
+		budget[baselineKey{e.Analyzer, e.File, e.Message}] += e.Count
+	}
+	for _, d := range diags {
+		k := baselineKey{d.Analyzer, rel(d.Pos.Filename), d.Message}
+		if budget[k] > 0 {
+			budget[k]--
+		}
+	}
+	stale := 0
+	//femtovet:commutative -- leftover budgets are exact integer counts; their sum is the same in any iteration order
+	for _, n := range budget {
+		stale += n
+	}
+	return stale
+}
+
 // Filter returns the findings not covered by the baseline, preserving order.
 // Each entry absorbs up to Count matching findings; the surplus is new.
 func (b *Baseline) Filter(diags []Diagnostic, rel func(string) string) []Diagnostic {

@@ -39,6 +39,9 @@ var knownAnalyzers = map[string]bool{
 	"hotpath":    true,
 	"poolsafe":   true,
 	"aliascheck": true,
+	"gridslot":   true,
+	"foldorder":  true,
+	"syncguard":  true,
 	"directives": true,
 }
 
@@ -52,6 +55,8 @@ var directiveKinds = map[string]bool{
 	"coldpath":    true,
 	"owns":        true,
 	"borrows":     true,
+	"shared":      true,
+	"commutative": true,
 }
 
 // funcLevelKinds must appear in a function's doc comment.
@@ -161,8 +166,22 @@ func checkDirective(pass *Pass, c *ast.Comment, d directive, fd *ast.FuncDecl) {
 				pass.Reportf(c.Pos(), "femtovet:%s names %q, which is not a parameter or receiver of %s", d.Kind, name, fd.Name.Name)
 			}
 		}
+	case "shared":
+		if d.Arg != "" {
+			pass.Reportf(c.Pos(), "femtovet:shared takes no argument; it marks the write or declaration on its own line")
+		}
+		if d.Reason == "" {
+			pass.Reportf(c.Pos(), "femtovet:shared without a reason is unauditable; append ` -- <why scheduled writes to this state are exclusive>`")
+		}
+	case "commutative":
+		if d.Arg != "" {
+			pass.Reportf(c.Pos(), "femtovet:commutative takes no argument; it marks the fold statement or its loop on its own line")
+		}
+		if d.Reason == "" {
+			pass.Reportf(c.Pos(), "femtovet:commutative without a reason is unauditable; append ` -- <why this fold is exact and order-free>`")
+		}
 	default:
-		pass.Reportf(c.Pos(), "unknown femtovet directive %q (known: ignore, unit, index, fixturepath, hotpath, coldpath, owns, borrows)", d.Kind)
+		pass.Reportf(c.Pos(), "unknown femtovet directive %q (known: ignore, unit, index, fixturepath, hotpath, coldpath, owns, borrows, shared, commutative)", d.Kind)
 	}
 }
 

@@ -1,0 +1,208 @@
+package flow
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"testing"
+)
+
+const closureSrc = `package q
+
+import "sync"
+
+var global int
+
+func worker(n int) {
+	xs := make([]float64, n)
+	total := 0
+	flag := false
+	var wg sync.WaitGroup
+	run(n, func(i int) error {
+		j := i
+		k := j * 2
+		xs[k] = float64(i)  // derived-index slot store
+		xs[0] = 1           // fixed-index store
+		total += i          // shared write
+		global = i          // package-level write
+		flag = true         // flag write
+		if i < len(xs) {    // len probe
+			_ = n
+		}
+		return nil
+	})
+	wg.Wait()
+	_ = total
+	_ = flag
+}
+
+func run(n int, do func(int) error) {
+	for i := 0; i < n; i++ {
+		_ = do(i)
+	}
+}
+
+func launcher(n int) []int {
+	out := make([]int, n)
+	seen := 0
+	for j := 0; j < n; j++ {
+		go func(j int) {
+			out[j] = j
+			seen++
+			go func() {
+				seen += 2 // nested launch: excluded when skipGo
+			}()
+		}(j)
+	}
+	return out
+}
+`
+
+func loadClosure(t *testing.T) (*token.FileSet, *ast.File, *types.Info) {
+	t.Helper()
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "q.go", closureSrc, parser.ParseComments|parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info := &types.Info{
+		Types: make(map[ast.Expr]types.TypeAndValue),
+		Defs:  make(map[*ast.Ident]types.Object),
+		Uses:  make(map[*ast.Ident]types.Object),
+	}
+	conf := types.Config{Importer: importer.Default()}
+	if _, err := conf.Check("q", fset, []*ast.File{file}, info); err != nil {
+		t.Fatalf("typecheck: %v", err)
+	}
+	return fset, file, info
+}
+
+// litsIn returns every func literal under root in source order.
+func litsIn(root ast.Node) []*ast.FuncLit {
+	var out []*ast.FuncLit
+	ast.Inspect(root, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok {
+			out = append(out, lit)
+		}
+		return true
+	})
+	return out
+}
+
+// usesOf filters a summary's uses down to one variable name.
+func usesOf(cs *ClosureSummary, name string) []CaptureUse {
+	var out []CaptureUse
+	for _, u := range cs.Uses {
+		if u.Var.Name() == name {
+			out = append(out, u)
+		}
+	}
+	return out
+}
+
+// TestSummarizeClosure: the worker closure's capture summary classifies a
+// derived-index slot store, a fixed-index store, a shared accumulator
+// write, a package-level write, and a len probe exactly as the gridslot
+// contract needs them.
+func TestSummarizeClosure(t *testing.T) {
+	_, file, info := loadClosure(t)
+	lits := litsIn(file)
+	if len(lits) == 0 {
+		t.Fatal("no closures found")
+	}
+	lit := lits[0]
+	cs := SummarizeClosure(info, lit, LitParams(info, lit), true)
+
+	xs := usesOf(cs, "xs")
+	if len(xs) != 3 {
+		t.Fatalf("want 3 uses of xs, got %d: %+v", len(xs), xs)
+	}
+	// xs[k] = ...: k derives from j derives from the index param i.
+	if u := xs[0]; !u.Write || !u.Indexed || !u.ByIndex {
+		t.Errorf("xs[k] store misclassified: %+v", u)
+	}
+	// xs[0] = 1: indexed, but not by anything derived from the index.
+	if u := xs[1]; !u.Write || !u.Indexed || u.ByIndex {
+		t.Errorf("xs[0] store misclassified: %+v", u)
+	}
+	// len(xs): a size probe, not a data read.
+	if u := xs[2]; u.Write || !u.LenCap {
+		t.Errorf("len(xs) misclassified: %+v", u)
+	}
+
+	if u := usesOf(cs, "total"); len(u) != 1 || !u[0].Write || u[0].ByIndex {
+		t.Errorf("total += i misclassified: %+v", u)
+	}
+	if u := usesOf(cs, "global"); len(u) != 1 || !u[0].Write {
+		t.Errorf("package-level write misclassified: %+v", u)
+	}
+	if u := usesOf(cs, "flag"); len(u) != 1 || !u[0].Write {
+		t.Errorf("flag write misclassified: %+v", u)
+	}
+	if !cs.Written[xs[0].Var] || !cs.Written[usesOf(cs, "total")[0].Var] {
+		t.Errorf("Written set incomplete: %+v", cs.Written)
+	}
+	// n is read (through _ = n) but never written.
+	for _, u := range usesOf(cs, "n") {
+		if u.Write {
+			t.Errorf("read of n misclassified as write: %+v", u)
+		}
+	}
+}
+
+// TestGoClosuresAndSkip: GoClosures enumerates launched literals
+// (including nested ones), and a summary built with skipGo excludes the
+// nested launch's statements.
+func TestGoClosuresAndSkip(t *testing.T) {
+	_, file, info := loadClosure(t)
+	gos := GoClosures(file)
+	if len(gos) != 2 {
+		t.Fatalf("want 2 go closures, got %d", len(gos))
+	}
+	outer := gos[0]
+	cs := SummarizeClosure(info, outer, LitParams(info, outer), true)
+
+	if u := usesOf(cs, "out"); len(u) != 1 || !u[0].ByIndex {
+		t.Errorf("out[j] store with param root misclassified: %+v", u)
+	}
+	// Only the outer seen++ is visible; the nested goroutine's += 2 is its
+	// own summary's problem.
+	if u := usesOf(cs, "seen"); len(u) != 1 || !u[0].Write {
+		t.Errorf("want exactly the outer seen++ with skipGo, got: %+v", u)
+	}
+	inner := gos[1]
+	ics := SummarizeClosure(info, inner, LitParams(info, inner), true)
+	if u := usesOf(ics, "seen"); len(u) != 1 || !u[0].Write || u[0].ByIndex {
+		t.Errorf("nested closure's seen += 2 misclassified: %+v", u)
+	}
+}
+
+// TestIsNamedType: the matcher resolves sync types through pointers and
+// rejects lookalikes.
+func TestIsNamedType(t *testing.T) {
+	_, file, info := loadClosure(t)
+	var wgType types.Type
+	ast.Inspect(file, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if ok && id.Name == "wg" {
+			if obj := info.ObjectOf(id); obj != nil {
+				wgType = obj.Type()
+			}
+		}
+		return true
+	})
+	if wgType == nil {
+		t.Fatal("wg not found")
+	}
+	if !IsNamedType(wgType, "sync", "WaitGroup") {
+		t.Errorf("IsNamedType(wg, sync.WaitGroup) = false")
+	}
+	if IsNamedType(wgType, "sync", "Mutex") {
+		t.Errorf("IsNamedType(wg, sync.Mutex) = true")
+	}
+	if !IsNamedType(types.NewPointer(wgType), "sync", "WaitGroup") {
+		t.Errorf("IsNamedType(*wg, sync.WaitGroup) = false")
+	}
+}

@@ -1,0 +1,378 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"femtocr/internal/analysis/flow"
+)
+
+// FoldOrder flags floating-point folds whose result can depend on
+// scheduling or on Go's randomized map iteration: += accumulation into a
+// float under a map range, channel-receive folds, and stats.Running
+// updates (Add) or parallel merges (Merge) not driven by an ascending
+// index loop. Floating-point addition is not associative and the Welford
+// merge in stats.Running is order-sensitive, so any nondeterministic fold
+// order leaks into the last bits of every figure. Exact integer folds are
+// genuinely order-free and may be excused with
+// //femtovet:commutative -- <reason>; the escape never applies to floats.
+var FoldOrder = &Analyzer{
+	Name: "foldorder",
+	Doc:  "fold-order determinism: no float accumulation under map ranges or channel receives; stats.Running.Merge only in ascending index order",
+	Run:  runFoldOrder,
+}
+
+func runFoldOrder(pass *Pass) {
+	comm := commutativeLines(pass)
+	for _, file := range pass.Files {
+		var stack []ast.Node
+		ast.Inspect(file, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return true
+			}
+			stack = append(stack, n)
+			switch x := n.(type) {
+			case *ast.RangeStmt:
+				switch rangeOperand(pass.Info, x) {
+				case "map":
+					checkFoldBody(pass, comm, x, "map range", "map iteration order is randomized")
+				case "chan":
+					checkFoldBody(pass, comm, x, "channel range", "arrival order depends on goroutine scheduling")
+				}
+			case *ast.AssignStmt:
+				checkRecvFold(pass, comm, stack, x)
+			case *ast.CallExpr:
+				if recv, ok := runningMethod(pass.Info, x, "Merge"); ok {
+					checkMergeContext(pass, comm, stack, x, recv)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// checkFoldBody flags accumulation into state declared outside a
+// nondeterministically ordered range loop: augmented float/int assigns,
+// ++/--, and stats.Running.Add calls.
+func checkFoldBody(pass *Pass, comm map[string]map[int]bool, rng *ast.RangeStmt, loop, why string) {
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.AssignStmt:
+			if !isAugAssign(x.Tok) || len(x.Lhs) != 1 {
+				return true
+			}
+			base := unindexedBase(pass.Info, x.Lhs[0])
+			if base == nil || declaredWithin(base, rng) {
+				return true
+			}
+			reportFold(pass, comm, x.Pos(), rng.Pos(), foldType(pass.Info, x.Lhs[0]), loop, why)
+		case *ast.IncDecStmt:
+			base := unindexedBase(pass.Info, x.X)
+			if base == nil || declaredWithin(base, rng) {
+				return true
+			}
+			reportFold(pass, comm, x.Pos(), rng.Pos(), foldType(pass.Info, x.X), loop, why)
+		case *ast.CallExpr:
+			recv, ok := runningMethod(pass.Info, x, "Add")
+			if !ok {
+				return true
+			}
+			base := rootVar(pass.Info, recv)
+			if base == nil || declaredWithin(base, rng) {
+				return true
+			}
+			pass.Reportf(x.Pos(),
+				"stats.Running accumulation driven by a %s: %s and Welford updates are order-sensitive; fold over sorted keys or task-indexed slots", loop, why)
+		}
+		return true
+	})
+}
+
+// checkRecvFold flags `acc += <-ch` style folds inside any loop: the
+// receive order follows the scheduler, not the data layout.
+func checkRecvFold(pass *Pass, comm map[string]map[int]bool, stack []ast.Node, as *ast.AssignStmt) {
+	if !isAugAssign(as.Tok) || len(as.Rhs) != 1 || !containsReceive(as.Rhs[0]) {
+		return
+	}
+	loopPos, inLoop := enclosingLoopPos(stack)
+	if !inLoop {
+		return
+	}
+	reportFold(pass, comm, as.Pos(), loopPos, foldType(pass.Info, as.Lhs[0]),
+		"channel-receive loop", "arrival order depends on goroutine scheduling")
+}
+
+// checkMergeContext enforces the fold half of the runGrid contract: a
+// stats.Running.Merge must run post-join, driven by an ascending index
+// loop, never under a map range, a channel, a descending loop, or inside a
+// spawned goroutine or grid worker.
+func checkMergeContext(pass *Pass, comm map[string]map[int]bool, stack []ast.Node, call *ast.CallExpr, recv ast.Expr) {
+	flagged := false
+	flag := func(pos token.Pos, format string, args ...any) {
+		if !flagged {
+			pass.Reportf(pos, format, args...)
+			flagged = true
+		}
+	}
+	if lines, ok := comm[pass.Fset.Position(call.Pos()).Filename]; ok && lines[pass.Fset.Position(call.Pos()).Line] {
+		flag(call.Pos(), "femtovet:commutative does not apply to stats.Running.Merge: the Welford merge is order-sensitive even for commuting inputs; merge in ascending index order instead")
+	}
+	for i := len(stack) - 2; i >= 0 && !flagged; i-- {
+		switch anc := stack[i].(type) {
+		case *ast.FuncDecl:
+			return // reached the function boundary with no bad driver
+		case *ast.FuncLit:
+			// Crossing into the closure's launch context: merging inside
+			// a goroutine or a grid worker folds in schedule order.
+			if parentCall, j, ok := parentCallOf(stack, i); ok {
+				if ast.Unparen(parentCall.Fun) == ast.Expr(anc) && j >= 1 {
+					if g, isGo := stack[j-1].(*ast.GoStmt); isGo && g.Call == parentCall {
+						flag(call.Pos(), "stats.Running.Merge inside a spawned goroutine: the fold follows the schedule; write per-task slots and merge after the join in ascending index order")
+						return
+					}
+				}
+				if fn := flow.Callee(pass.Info, parentCall); fn != nil && (fn.Name() == "runGrid" || fn.Name() == "RunGrid") {
+					flag(call.Pos(), "stats.Running.Merge inside a grid worker: folding during tasks follows the schedule; write per-task slots and merge after runGrid returns")
+					return
+				}
+			}
+			return // other literals (helpers, defers) end the loop search
+		case *ast.RangeStmt:
+			switch rangeOperand(pass.Info, anc) {
+			case "map":
+				flag(call.Pos(), "stats.Running.Merge driven by a map range: the parallel Welford merge is order-sensitive and map order is randomized; merge in ascending index order")
+			case "chan":
+				flag(call.Pos(), "stats.Running.Merge driven by a channel range: arrival order depends on goroutine scheduling; merge post-join in ascending index order")
+			}
+		case *ast.ForStmt:
+			if isDescendingPost(anc.Post) {
+				flag(call.Pos(), "stats.Running.Merge driven by a descending loop: the contract folds slots in ascending index order so any worker count matches the sequential fold bitwise")
+			}
+		}
+	}
+	_ = recv
+}
+
+// parentCallOf returns the call expression directly enclosing stack[i]
+// (skipping parens) and its stack index.
+func parentCallOf(stack []ast.Node, i int) (*ast.CallExpr, int, bool) {
+	for j := i - 1; j >= 0; j-- {
+		if _, isParen := stack[j].(*ast.ParenExpr); isParen {
+			continue
+		}
+		c, ok := stack[j].(*ast.CallExpr)
+		return c, j, ok
+	}
+	return nil, 0, false
+}
+
+// reportFold reports one nondeterministically ordered fold, honoring the
+// //femtovet:commutative escape for exact integer folds only.
+func reportFold(pass *Pass, comm map[string]map[int]bool, pos, loopPos token.Pos, kind, loop, why string) {
+	excused := foldExcused(pass, comm, pos, loopPos)
+	switch kind {
+	case "float":
+		if excused {
+			pass.Reportf(pos, "femtovet:commutative does not apply to floating-point accumulation under a %s: rounding depends on fold order even when the values commute; restructure the fold", loop)
+			return
+		}
+		pass.Reportf(pos, "floating-point accumulation inside a %s: %s, so the sum's rounding differs run to run; fold over sorted keys or task-indexed slots", loop, why)
+	case "int":
+		if excused {
+			return
+		}
+		pass.Reportf(pos, "integer fold inside a %s: %s; if the fold is exact and order-free, annotate //femtovet:commutative -- <reason>, otherwise fold over sorted keys", loop, why)
+	}
+}
+
+// foldExcused reports whether a commutative directive covers the fold
+// statement or its driving loop.
+func foldExcused(pass *Pass, comm map[string]map[int]bool, pos, loopPos token.Pos) bool {
+	p := pass.Fset.Position(pos)
+	if lines, ok := comm[p.Filename]; ok && lines[p.Line] {
+		return true
+	}
+	lp := pass.Fset.Position(loopPos)
+	if lines, ok := comm[lp.Filename]; ok && lines[lp.Line] {
+		return true
+	}
+	return false
+}
+
+// commutativeLines collects the effective //femtovet:commutative
+// directives (reason required) by file and line; a directive covers its
+// own line and the next.
+func commutativeLines(pass *Pass) map[string]map[int]bool {
+	out := make(map[string]map[int]bool)
+	for _, f := range pass.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				d, ok := parseDirective(c.Text)
+				if !ok || d.Kind != "commutative" || d.Reason == "" {
+					continue
+				}
+				pos := pass.Fset.Position(c.Pos())
+				if out[pos.Filename] == nil {
+					out[pos.Filename] = make(map[int]bool)
+				}
+				out[pos.Filename][pos.Line] = true
+				out[pos.Filename][pos.Line+1] = true
+			}
+		}
+	}
+	return out
+}
+
+// rangeOperand classifies what a range statement iterates.
+func rangeOperand(info *types.Info, rng *ast.RangeStmt) string {
+	tv, ok := info.Types[rng.X]
+	if !ok || tv.Type == nil {
+		return ""
+	}
+	switch tv.Type.Underlying().(type) {
+	case *types.Map:
+		return "map"
+	case *types.Chan:
+		return "chan"
+	}
+	return ""
+}
+
+// foldType classifies the accumulation target: "float", "int", or "".
+func foldType(info *types.Info, e ast.Expr) string {
+	tv, ok := info.Types[e]
+	if !ok || tv.Type == nil {
+		return ""
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	if !ok {
+		return ""
+	}
+	switch {
+	case b.Info()&types.IsFloat != 0, b.Info()&types.IsComplex != 0:
+		return "float"
+	case b.Info()&types.IsInteger != 0:
+		return "int"
+	}
+	return ""
+}
+
+// isAugAssign reports whether tok is an order-sensitive accumulation
+// operator.
+func isAugAssign(tok token.Token) bool {
+	switch tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+		return true
+	}
+	return false
+}
+
+// unindexedBase returns the variable at the root of an unindexed lvalue
+// path (x, x.f, *p), or nil when the path goes through an element index —
+// per-key stores under a map range touch each key once and stay
+// deterministic.
+func unindexedBase(info *types.Info, e ast.Expr) *types.Var {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			v, _ := info.ObjectOf(x).(*types.Var)
+			return v
+		case *ast.SelectorExpr:
+			if id, ok := ast.Unparen(x.X).(*ast.Ident); ok {
+				if _, isPkg := info.ObjectOf(id).(*types.PkgName); isPkg {
+					v, _ := info.ObjectOf(x.Sel).(*types.Var)
+					return v
+				}
+			}
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// rootVar returns the variable at the root of any access path, indexes
+// included.
+func rootVar(info *types.Info, e ast.Expr) *types.Var {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			v, _ := info.ObjectOf(x).(*types.Var)
+			return v
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.UnaryExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// declaredWithin reports whether v is declared inside the range statement
+// (a per-iteration local, reset each key).
+func declaredWithin(v *types.Var, rng *ast.RangeStmt) bool {
+	return v.Pos() >= rng.Pos() && v.Pos() < rng.End()
+}
+
+// runningMethod reports whether call invokes the named method on a
+// stats.Running receiver, returning the receiver expression.
+func runningMethod(info *types.Info, call *ast.CallExpr, name string) (ast.Expr, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != name {
+		return nil, false
+	}
+	tv, ok := info.Types[sel.X]
+	if !ok || !flow.IsNamedType(tv.Type, "femtocr/internal/stats", "Running") {
+		return nil, false
+	}
+	return sel.X, true
+}
+
+// containsReceive reports whether e contains a channel receive.
+func containsReceive(e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if u, ok := n.(*ast.UnaryExpr); ok && u.Op == token.ARROW {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// enclosingLoopPos returns the position of the innermost enclosing loop on
+// the ancestor stack, stopping at function boundaries.
+func enclosingLoopPos(stack []ast.Node) (token.Pos, bool) {
+	for i := len(stack) - 2; i >= 0; i-- {
+		switch anc := stack[i].(type) {
+		case *ast.FuncDecl, *ast.FuncLit:
+			return token.NoPos, false
+		case *ast.ForStmt:
+			return anc.Pos(), true
+		case *ast.RangeStmt:
+			return anc.Pos(), true
+		}
+	}
+	return token.NoPos, false
+}
+
+// isDescendingPost reports whether a for-loop post statement steps its
+// variable downward (i-- or i -= k).
+func isDescendingPost(post ast.Stmt) bool {
+	switch x := post.(type) {
+	case *ast.IncDecStmt:
+		return x.Tok == token.DEC
+	case *ast.AssignStmt:
+		return x.Tok == token.SUB_ASSIGN
+	}
+	return false
+}

@@ -173,6 +173,21 @@ func TestAliasCheckFixtures(t *testing.T) {
 	runFixture(t, AliasCheck, "testdata/aliascheck_clean.go")
 }
 
+func TestGridSlotFixtures(t *testing.T) {
+	runFixture(t, GridSlot, "testdata/gridslot_flag.go")
+	runFixture(t, GridSlot, "testdata/gridslot_clean.go")
+}
+
+func TestFoldOrderFixtures(t *testing.T) {
+	runFixture(t, FoldOrder, "testdata/foldorder_flag.go")
+	runFixture(t, FoldOrder, "testdata/foldorder_clean.go")
+}
+
+func TestSyncGuardFixtures(t *testing.T) {
+	runFixture(t, SyncGuard, "testdata/syncguard_flag.go")
+	runFixture(t, SyncGuard, "testdata/syncguard_clean.go")
+}
+
 func TestDirectivesFixtures(t *testing.T) {
 	runFixture(t, Directives, "testdata/directives_flag.go")
 }

@@ -152,6 +152,49 @@ func ScaleInto(dst, src []float64) {
 	assertSingleFinding(t, diags, "aliascheck", "stored into package-level state")
 }
 
+// mutateParallel seeds one bug into experiments/parallel.go and grafts on
+// the minimal Params shim the file needs to type-check standalone (the
+// real struct lives in a sibling file of the package).
+func mutateParallel(t *testing.T, old, new string) string {
+	t.Helper()
+	src := mutate(t, "../experiments/parallel.go", old, new)
+	return src + "\ntype Params struct{ Workers int }\n"
+}
+
+// TestMutationDroppedSharedReason: deleting the //femtovet:shared
+// justification on runGrid's error slots re-arms the slot-ownership check —
+// the worker's errs[i] write is keyed by the dispatch counter, not a task
+// parameter, so without the directive gridslot alone must catch it.
+func TestMutationDroppedSharedReason(t *testing.T) {
+	src := mutateParallel(t,
+		"\t//femtovet:shared -- the atomic dispatch counter hands each index to exactly one worker, so errs[i] has a single writer\n",
+		"")
+	diags := suiteOnSource(t, "femtocr/internal/gridmut", "gridmut.go", src, All())
+	assertSingleFinding(t, diags, "gridslot", "writes captured errs")
+}
+
+// TestMutationDescendingMerge: reversing mergeSummary's fold loop breaks
+// the ascending-index contract that makes the parallel Welford merge
+// bitwise-deterministic; foldorder alone must catch it.
+func TestMutationDescendingMerge(t *testing.T) {
+	src := mutateParallel(t,
+		"\tfor _, x := range xs {\n",
+		"\tfor i := len(xs) - 1; i >= 0; i-- {\n\t\tx := xs[i]\n")
+	diags := suiteOnSource(t, "femtocr/internal/foldmut", "foldmut.go", src, All())
+	assertSingleFinding(t, diags, "foldorder", "ascending index order")
+}
+
+// TestMutationAddInsideWorker: moving the WaitGroup.Add into the spawned
+// worker lets Wait return before late workers are counted; syncguard alone
+// must catch it.
+func TestMutationAddInsideWorker(t *testing.T) {
+	src := mutateParallel(t,
+		"\t\twg.Add(1)\n\t\tgo func() {\n",
+		"\t\tgo func() {\n\t\t\twg.Add(1)\n")
+	diags := suiteOnSource(t, "femtocr/internal/syncmut", "syncmut.go", src, All())
+	assertSingleFinding(t, diags, "syncguard", "Add inside the spawned goroutine")
+}
+
 // The unmutated originals stay silent — the suite is already proven clean
 // over the whole module by TestSuiteCleanOnModule — so each mutation above
 // flips exactly one bit of analyzer output.

@@ -148,6 +148,81 @@ func TestBaselineNewKinds(t *testing.T) {
 	}
 }
 
+// TestBaselineV4Kinds: findings from the v4 analyzers (gridslot, foldorder,
+// syncguard) round-trip through the baseline like any other kind — filtered
+// when recorded, passed through when fresh.
+func TestBaselineV4Kinds(t *testing.T) {
+	diags := []Diagnostic{
+		{
+			Pos:      token.Position{Filename: "/mod/internal/experiments/parallel.go", Line: 63, Column: 5},
+			Analyzer: "gridslot",
+			Message:  "grid worker writes captured total, which is not indexed by the task's own index: each task may write only its own slot (xs[i] = ...); annotate //femtovet:shared -- <reason> if synchronization makes this exclusive",
+		},
+		{
+			Pos:      token.Position{Filename: "/mod/internal/experiments/trace.go", Line: 140, Column: 3},
+			Analyzer: "foldorder",
+			Message:  "floating-point accumulation inside a map range: map iteration order is randomized, so the sum's rounding differs run to run; fold over sorted keys or task-indexed slots",
+		},
+		{
+			Pos:      token.Position{Filename: "/mod/internal/sim/engine.go", Line: 88, Column: 4},
+			Analyzer: "syncguard",
+			Message:  "wg.Done is not deferred: a panic or early return in the goroutine skips it and Wait blocks forever; write `defer wg.Done()` as the goroutine's first statement",
+		},
+	}
+	b := BaselineOf(diags, sampleRel)
+	data, err := b.Encode()
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	path := filepath.Join(t.TempDir(), "baseline.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	loaded, err := ReadBaselineFile(path)
+	if err != nil {
+		t.Fatalf("ReadBaselineFile: %v", err)
+	}
+	if kept := loaded.Filter(diags, sampleRel); len(kept) != 0 {
+		t.Errorf("baselined v4 findings leaked through Filter: %v", kept)
+	}
+	fresh := Diagnostic{
+		Pos:      token.Position{Filename: "/mod/internal/experiments/extensions.go", Line: 12, Column: 7},
+		Analyzer: "foldorder",
+		Message:  "stats.Running.Merge driven by a map range: the parallel Welford merge is order-sensitive and map order is randomized; merge in ascending index order",
+	}
+	if kept := loaded.Filter(append(diags, fresh), sampleRel); len(kept) != 1 || kept[0].Message != fresh.Message {
+		t.Errorf("Filter(with fresh foldorder finding) = %v, want exactly the fresh finding", kept)
+	}
+}
+
+// TestBaselineStale: Stale counts exactly the leftover baseline budget —
+// zero when every entry still matches a current finding, the full surplus
+// when findings were fixed out from under their entries.
+func TestBaselineStale(t *testing.T) {
+	diags := sampleDiags() // two identical unitcheck findings + one seedflow
+	b := BaselineOf(diags, sampleRel)
+
+	if got := b.Stale(diags, sampleRel); got != 0 {
+		t.Errorf("Stale(all findings present) = %d, want 0", got)
+	}
+	if got := b.Stale(diags[:1], sampleRel); got != 2 {
+		t.Errorf("Stale(one of three remains) = %d, want 2", got)
+	}
+	if got := b.Stale(nil, sampleRel); got != 3 {
+		t.Errorf("Stale(tree fixed) = %d, want 3", got)
+	}
+
+	// A fresh, unrecorded finding does not drive the count negative.
+	fresh := Diagnostic{
+		Pos:      token.Position{Filename: "/mod/internal/ofdm/ofdm.go", Line: 5, Column: 1},
+		Analyzer: "floateq",
+		Message:  "== on float64 operands",
+	}
+	if got := b.Stale(append(diags, fresh), sampleRel); got != 0 {
+		t.Errorf("Stale(all present plus fresh) = %d, want 0", got)
+	}
+}
+
 func TestBaselineRejectsBadVersion(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "baseline.json")
 	if err := os.WriteFile(path, []byte(`{"version": 99, "findings": []}`), 0o644); err != nil {
@@ -231,6 +306,33 @@ func use() int {
 	}
 	if diags := suiteOnSource(t, "femtocr/internal/fixput2", "fixput2.go", fixed, []*Analyzer{PoolSafe}); len(diags) != 0 {
 		t.Errorf("poolsafe still fires on the fixed source: %v", diags)
+	}
+}
+
+// TestApplyFixDeferDone: the syncguard fix prefixes an undeferred
+// WaitGroup.Done with `defer`, and the rewritten source no longer triggers
+// the analyzer.
+func TestApplyFixDeferDone(t *testing.T) {
+	src := `package fixture
+
+import "sync"
+
+func spawn(xs []int) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		xs[0] = 1
+		wg.Done()
+	}()
+	wg.Wait()
+}
+`
+	fixed := applyFirstFix(t, SyncGuard, "femtocr/internal/fixdone", src)
+	if !strings.Contains(fixed, "defer wg.Done()") {
+		t.Errorf("fix did not defer the Done:\n%s", fixed)
+	}
+	if diags := suiteOnSource(t, "femtocr/internal/fixdone2", "fixdone2.go", fixed, []*Analyzer{SyncGuard}); len(diags) != 0 {
+		t.Errorf("syncguard still fires on the fixed source: %v", diags)
 	}
 }
 

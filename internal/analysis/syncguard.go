@@ -1,0 +1,328 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+
+	"femtocr/internal/analysis/flow"
+)
+
+// SyncGuard checks the three sync-primitive mistakes that turn a
+// deterministic worker pool into a flaky one: WaitGroup misuse (Add inside
+// the spawned goroutine races with Wait; Done not deferred hangs Wait on a
+// panic or early return), locks copied by value (the copy synchronizes
+// nothing), and Lock calls whose matching Unlock can be skipped along an
+// early-return path. The checks are block-local by design — the runGrid
+// contract keeps all synchronization within one lexical scope, and the
+// analyzer enforces exactly that shape.
+var SyncGuard = &Analyzer{
+	Name: "syncguard",
+	Doc:  "sync hygiene: WaitGroup.Add before the go statement, Done deferred, no lock copies, no Lock without a reachable Unlock",
+	Run:  runSyncGuard,
+}
+
+func runSyncGuard(pass *Pass) {
+	for _, file := range pass.Files {
+		for _, lit := range flow.GoClosures(file) {
+			checkGoroutineWG(pass, lit)
+		}
+		checkLockCopies(pass, file)
+		checkLockRelease(pass, file)
+	}
+}
+
+// checkGoroutineWG inspects one spawned closure for WaitGroup misuse on
+// counters captured from outside the closure.
+func checkGoroutineWG(pass *Pass, lit *ast.FuncLit) {
+	var stack []ast.Node
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		// Nested go statements get their own GoClosures entry.
+		if _, isGo := n.(*ast.GoStmt); isGo {
+			return false
+		}
+		stack = append(stack, n)
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if wg, ok := wgMethod(pass.Info, call, "Add"); ok && outsideLit(wg, lit) {
+			pass.Reportf(call.Pos(),
+				"%s.Add inside the spawned goroutine races with Wait: if Wait runs before the goroutine is scheduled, the counter never sees the task; call Add before the go statement", wg.Name())
+		}
+		if wg, ok := wgMethod(pass.Info, call, "Done"); ok && outsideLit(wg, lit) && !underDefer(stack, call) {
+			var fix *Fix
+			if !insideLoop(stack, lit) {
+				fix = &Fix{
+					Message: "defer the Done so every exit path signals the WaitGroup",
+					Edits:   []TextEdit{{Pos: call.Pos(), End: call.Pos(), NewText: "defer "}},
+				}
+			}
+			pass.ReportFixf(call.Pos(), fix,
+				"%s.Done is not deferred: a panic or early return in the goroutine skips it and Wait blocks forever; write `defer %s.Done()` as the goroutine's first statement", wg.Name(), wg.Name())
+		}
+		return true
+	})
+}
+
+// checkLockCopies flags values of lock-carrying types copied by value:
+// parameters and receivers, plain assignments, and range values.
+func checkLockCopies(pass *Pass, file *ast.File) {
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncDecl:
+			if x.Recv != nil {
+				checkLockFields(pass, x.Recv, "receiver")
+			}
+			checkLockFields(pass, x.Type.Params, "parameter")
+		case *ast.FuncLit:
+			checkLockFields(pass, x.Type.Params, "parameter")
+		case *ast.AssignStmt:
+			if len(x.Lhs) != len(x.Rhs) {
+				return true
+			}
+			for i, rhs := range x.Rhs {
+				if !copiesExistingValue(rhs) {
+					continue
+				}
+				tv, ok := pass.Info.Types[rhs]
+				if !ok || !carriesLock(tv.Type) {
+					continue
+				}
+				pass.Reportf(x.Lhs[i].Pos(),
+					"assignment copies %s, which contains a sync lock: the copy and the original no longer exclude each other; share a pointer instead", types.ExprString(rhs))
+			}
+		case *ast.ValueSpec:
+			for i, rhs := range x.Values {
+				if i >= len(x.Names) || !copiesExistingValue(rhs) {
+					continue
+				}
+				tv, ok := pass.Info.Types[rhs]
+				if !ok || !carriesLock(tv.Type) {
+					continue
+				}
+				pass.Reportf(x.Names[i].Pos(),
+					"declaration copies %s, which contains a sync lock: the copy and the original no longer exclude each other; share a pointer instead", types.ExprString(rhs))
+			}
+		case *ast.RangeStmt:
+			if x.Value == nil || !carriesLock(typeOfExpr(pass.Info, x.Value)) {
+				return true
+			}
+			pass.Reportf(x.Value.Pos(),
+				"range value %s copies a sync lock each iteration: locking the copy synchronizes nothing; iterate by index or over pointers", types.ExprString(x.Value))
+		}
+		return true
+	})
+}
+
+// checkLockFields flags parameters or receivers of lock-carrying value
+// types.
+func checkLockFields(pass *Pass, fields *ast.FieldList, role string) {
+	if fields == nil {
+		return
+	}
+	for _, f := range fields.List {
+		tv, ok := pass.Info.Types[f.Type]
+		if !ok || !carriesLock(tv.Type) {
+			continue
+		}
+		name := types.ExprString(f.Type)
+		pass.Reportf(f.Pos(),
+			"%s of type %s is passed by value: every call copies the sync lock, so callers and callee lock different copies; pass *%s", role, name, name)
+	}
+}
+
+// checkLockRelease enforces, block-locally, that every Lock/RLock has a
+// reachable matching unlock: either a deferred unlock later in the block,
+// or a plain unlock with no return statement between the two.
+func checkLockRelease(pass *Pass, file *ast.File) {
+	ast.Inspect(file, func(n ast.Node) bool {
+		block, ok := n.(*ast.BlockStmt)
+		if !ok {
+			return true
+		}
+		for i, stmt := range block.List {
+			path, method, ok := lockStmt(pass.Info, stmt)
+			if !ok {
+				continue
+			}
+			want, isAcquire := map[string]string{"Lock": "Unlock", "RLock": "RUnlock"}[method]
+			if !isAcquire {
+				continue
+			}
+			resolved := false
+			for j := i + 1; j < len(block.List) && !resolved; j++ {
+				if d, isDefer := block.List[j].(*ast.DeferStmt); isDefer {
+					if p, m, ok := lockCall(pass.Info, d.Call); ok && p == path && m == want {
+						resolved = true
+					}
+					continue
+				}
+				p, m, ok := lockStmt(pass.Info, block.List[j])
+				if !ok || p != path || m != want {
+					continue
+				}
+				for _, mid := range block.List[i+1 : j] {
+					reportReturnsBetween(pass, mid, path, method, want)
+				}
+				resolved = true
+			}
+			if !resolved {
+				pass.Reportf(stmt.Pos(),
+					"%s.%s has no matching %s in this block: some path leaves the lock held; defer %s.%s right after the %s", path, method, want, path, want, method)
+			}
+		}
+		return true
+	})
+}
+
+// reportReturnsBetween flags return statements nested in a statement that
+// sits between a plain Lock and its plain Unlock.
+func reportReturnsBetween(pass *Pass, stmt ast.Stmt, path, method, want string) {
+	ast.Inspect(stmt, func(n ast.Node) bool {
+		switch n.(type) {
+		case *ast.FuncLit:
+			return false // a nested closure's returns exit the closure, not this frame
+		case *ast.ReturnStmt:
+			pass.Reportf(n.Pos(),
+				"early return between %s.%s and %s.%s leaves the lock held; defer the %s right after the %s", path, method, path, want, want, method)
+		}
+		return true
+	})
+}
+
+// lockStmt unwraps an expression statement to a mutex Lock/Unlock call.
+func lockStmt(info *types.Info, stmt ast.Stmt) (path, method string, ok bool) {
+	es, isExpr := stmt.(*ast.ExprStmt)
+	if !isExpr {
+		return "", "", false
+	}
+	call, isCall := es.X.(*ast.CallExpr)
+	if !isCall {
+		return "", "", false
+	}
+	return lockCall(info, call)
+}
+
+// lockCall recognizes Lock/Unlock/RLock/RUnlock on a sync.Mutex or
+// sync.RWMutex receiver, returning the receiver's printed path so lock and
+// unlock sites can be matched lexically.
+func lockCall(info *types.Info, call *ast.CallExpr) (path, method string, ok bool) {
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "Unlock", "RLock", "RUnlock":
+	default:
+		return "", "", false
+	}
+	tv, has := info.Types[sel.X]
+	if !has || (!flow.IsNamedType(tv.Type, "sync", "Mutex") && !flow.IsNamedType(tv.Type, "sync", "RWMutex")) {
+		return "", "", false
+	}
+	return types.ExprString(sel.X), sel.Sel.Name, true
+}
+
+// wgMethod recognizes a call of the named method on a sync.WaitGroup
+// receiver and returns the receiver's root variable.
+func wgMethod(info *types.Info, call *ast.CallExpr, name string) (*types.Var, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != name {
+		return nil, false
+	}
+	tv, ok := info.Types[sel.X]
+	if !ok || !flow.IsNamedType(tv.Type, "sync", "WaitGroup") {
+		return nil, false
+	}
+	v := rootVar(info, sel.X)
+	return v, v != nil
+}
+
+// outsideLit reports whether v is declared outside the closure — i.e.
+// captured, so it is the counter the parent Waits on.
+func outsideLit(v *types.Var, lit *ast.FuncLit) bool {
+	return v.Pos() < lit.Pos() || v.Pos() >= lit.End()
+}
+
+// insideLoop reports whether the innermost statements on the stack, within
+// lit, include a loop — prefixing `defer` there would change how many
+// times the call runs per iteration.
+func insideLoop(stack []ast.Node, lit *ast.FuncLit) bool {
+	for i := len(stack) - 1; i >= 0; i-- {
+		if stack[i] == ast.Node(lit) {
+			return false
+		}
+		switch stack[i].(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+			return true
+		}
+	}
+	return false
+}
+
+// typeOfExpr resolves an expression's type, falling back to the defined
+// object for idents a range statement declares (which go/types records in
+// Defs, not Types).
+func typeOfExpr(info *types.Info, e ast.Expr) types.Type {
+	if tv, ok := info.Types[e]; ok && tv.Type != nil {
+		return tv.Type
+	}
+	if id, ok := ast.Unparen(e).(*ast.Ident); ok {
+		if obj := info.ObjectOf(id); obj != nil {
+			return obj.Type()
+		}
+	}
+	return nil
+}
+
+// copiesExistingValue reports whether rhs denotes an existing value whose
+// assignment copies it: an identifier, field, element, or dereference.
+// Fresh composite literals and call results are new values, not copies of
+// a lock someone else may hold.
+func copiesExistingValue(rhs ast.Expr) bool {
+	switch ast.Unparen(rhs).(type) {
+	case *ast.Ident, *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+		return true
+	}
+	return false
+}
+
+// carriesLock reports whether copying a value of type t copies sync lock
+// state: the sync types themselves, and structs or arrays containing them.
+// Pointers, slices, maps, and channels share the lock instead of copying
+// it.
+func carriesLock(t types.Type) bool {
+	return lockIn(t, make(map[types.Type]bool))
+}
+
+func lockIn(t types.Type, seen map[types.Type]bool) bool {
+	if t == nil || seen[t] {
+		return false
+	}
+	seen[t] = true
+	if named, ok := t.(*types.Named); ok {
+		obj := named.Obj()
+		if obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "sync" {
+			switch obj.Name() {
+			case "Mutex", "RWMutex", "WaitGroup", "Once", "Cond":
+				return true
+			}
+		}
+		return lockIn(named.Underlying(), seen)
+	}
+	switch u := t.(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if lockIn(u.Field(i).Type(), seen) {
+				return true
+			}
+		}
+	case *types.Array:
+		return lockIn(u.Elem(), seen)
+	}
+	return false
+}

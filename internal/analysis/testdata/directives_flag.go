@@ -32,6 +32,12 @@ var h = 6
 //femtovet:owns x // want "must appear in a function's doc comment"
 var i = 7
 
+//femtovet:shared // want "takes no argument|without a reason is unauditable"
+var j = 8
+
+//femtovet:commutative // want "takes no argument|without a reason is unauditable"
+var k = 9
+
 // argful takes the directive argument nobody asked for. The absorbed want
 // text keeps the argument nonempty either way.
 //

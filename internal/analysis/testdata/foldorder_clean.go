@@ -1,0 +1,84 @@
+//femtovet:fixturepath femtocr/internal/foldfixtureclean
+
+// Deterministic folds the foldorder analyzer must accept: slice-driven
+// sums, map iteration over sorted keys, exact integer folds excused with
+// femtovet:commutative (on the fold line or its loop), per-key map
+// transforms, per-iteration locals, and ascending-index Welford merges.
+package fixture
+
+import (
+	"sort"
+
+	"femtocr/internal/stats"
+)
+
+func sliceFold(xs []float64) float64 {
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum
+}
+
+func sortedKeys(m map[string]float64) float64 {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	sum := 0.0
+	for _, k := range keys {
+		sum += m[k]
+	}
+	return sum
+}
+
+func commutativeCount(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		//femtovet:commutative -- exact integer addition commutes and never rounds
+		n += v
+	}
+	return n
+}
+
+func commutativeLoop(m map[string]int) int {
+	n := 0
+	//femtovet:commutative -- exact integer count; any iteration order yields the same total
+	for range m {
+		n++
+	}
+	return n
+}
+
+func perKeyTransform(m, out map[string]float64) {
+	for k, v := range m {
+		out[k] += v
+	}
+}
+
+func perIterationLocal(m map[int][]float64, out map[int]float64) {
+	for k, xs := range m {
+		s := 0.0
+		for _, x := range xs {
+			s += x
+		}
+		out[k] = s
+	}
+}
+
+func mergeAscending(parts []stats.Running) (stats.Summary, error) {
+	var acc stats.Running
+	for i := 0; i < len(parts); i++ {
+		acc.Merge(&parts[i])
+	}
+	return acc.Summary()
+}
+
+func mergeSliceRange(parts []stats.Running) (stats.Summary, error) {
+	var acc stats.Running
+	for i := range parts {
+		acc.Merge(&parts[i])
+	}
+	return acc.Summary()
+}

@@ -1,0 +1,112 @@
+//femtovet:fixturepath femtocr/internal/foldfixture
+
+// Fold-order hazards the foldorder analyzer must flag: float and integer
+// sums driven by randomized map iteration, channel-receive folds, Welford
+// accumulation (stats.Running.Add/Merge) under map ranges, descending
+// loops, goroutines, and grid workers, and femtovet:commutative misapplied
+// to order-sensitive folds.
+package fixture
+
+import "femtocr/internal/stats"
+
+func runGrid(n, workers int, do func(i int) error) error {
+	for i := 0; i < n; i++ {
+		if err := do(i); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func mapFloatSum(m map[string]float64) float64 {
+	sum := 0.0
+	for _, v := range m {
+		sum += v // want "floating-point accumulation inside a map range"
+	}
+	return sum
+}
+
+func mapIntCount(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v // want "integer fold inside a map range"
+	}
+	return n
+}
+
+func mapFloatCommutative(m map[string]float64) float64 {
+	sum := 0.0
+	for _, v := range m {
+		//femtovet:commutative -- wrong: float rounding is order-sensitive
+		sum += v // want "does not apply to floating-point accumulation"
+	}
+	return sum
+}
+
+func chanFold(ch chan float64) float64 {
+	sum := 0.0
+	for v := range ch {
+		sum += v // want "floating-point accumulation inside a channel range"
+	}
+	return sum
+}
+
+func recvFold(ch chan float64, n int) float64 {
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += <-ch // want "channel-receive loop"
+	}
+	return sum
+}
+
+func addUnderMap(m map[int]float64) (stats.Summary, error) {
+	var acc stats.Running
+	for _, v := range m {
+		acc.Add(v) // want "stats.Running accumulation driven by a map range"
+	}
+	return acc.Summary()
+}
+
+func mergeUnderMap(parts map[int]*stats.Running) stats.Running {
+	var acc stats.Running
+	for _, p := range parts {
+		acc.Merge(p) // want "Merge driven by a map range"
+	}
+	return acc
+}
+
+func mergeDescending(parts []stats.Running) stats.Running {
+	var acc stats.Running
+	for i := len(parts) - 1; i >= 0; i-- {
+		acc.Merge(&parts[i]) // want "Merge driven by a descending loop"
+	}
+	return acc
+}
+
+func mergeInGoroutine(parts []stats.Running, done chan stats.Running) {
+	var acc stats.Running
+	go func() {
+		for i := range parts {
+			acc.Merge(&parts[i]) // want "Merge inside a spawned goroutine"
+		}
+		done <- acc
+	}()
+}
+
+func mergeInWorker(n int, parts []stats.Running) stats.Running {
+	var acc stats.Running
+	_ = runGrid(n, 2, func(i int) error {
+		acc.Merge(&parts[i]) // want "Merge inside a grid worker"
+		return nil
+	})
+	return acc
+}
+
+func mergeCommutative(parts []stats.Running) stats.Running {
+	var acc stats.Running
+	for i := 0; i < len(parts); i++ {
+		//femtovet:commutative -- wrong: the Welford merge is order-sensitive
+		acc.Merge(&parts[i]) // want "does not apply to stats.Running.Merge"
+	}
+	return acc
+}

@@ -1,0 +1,91 @@
+//femtovet:fixturepath femtocr/internal/gridfixtureclean
+
+// Closures that honor the deterministic-parallelism contract: writes land
+// only in the task's own slot (directly or through an index-derived
+// local), shared traffic goes through sync/atomic, size probes via len are
+// not data reads, and out-of-band-exclusive writes carry a
+// //femtovet:shared reason on the write or the declaration.
+package fixture
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+func runGrid(n, workers int, do func(i int) error) error {
+	for i := 0; i < n; i++ {
+		if err := do(i); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func ownSlots(n int) []float64 {
+	scale := 2.5
+	xs := make([]float64, n)
+	_ = runGrid(n, 2, func(i int) error {
+		r := i
+		if i >= len(xs) {
+			return nil
+		}
+		xs[r] = scale * float64(i)
+		return nil
+	})
+	return xs
+}
+
+func atomicShared(n int) int64 {
+	var total atomic.Int64
+	var done atomic.Bool
+	xs := make([]int, n)
+	_ = runGrid(n, 2, func(i int) error {
+		xs[i] = i
+		total.Add(int64(i))
+		if i == n-1 {
+			done.Store(true)
+		}
+		return nil
+	})
+	if done.Load() {
+		return total.Load()
+	}
+	return 0
+}
+
+func sharedOnDecl(n int) int {
+	//femtovet:shared -- the caller holds a lock around the whole sweep, so these writes are exclusive
+	hits := 0
+	xs := make([]int, n)
+	_ = runGrid(n, 2, func(i int) error {
+		xs[i] = i
+		hits++
+		return nil
+	})
+	return hits
+}
+
+func sharedOnWrite(n int) int {
+	total := 0
+	xs := make([]int, n)
+	_ = runGrid(n, 2, func(i int) error {
+		xs[i] = i
+		total += i //femtovet:shared -- workers=1 in every caller of this helper, so the sweep is sequential
+		return nil
+	})
+	return total
+}
+
+func waitGroupPool(n int) []int {
+	out := make([]int, n)
+	var wg sync.WaitGroup
+	for j := 0; j < n; j++ {
+		wg.Add(1)
+		go func(j int) {
+			defer wg.Done()
+			out[j] = j
+		}(j)
+	}
+	wg.Wait()
+	return out
+}

@@ -1,0 +1,72 @@
+//femtovet:fixturepath femtocr/internal/gridfixture
+
+// Slot-ownership violations the gridslot analyzer must flag: shared
+// accumulators written from grid workers, stores into a fixed slot instead
+// of the task's own, non-atomic completion flags, cross-slot reads before
+// the post-join barrier, and the same mistakes inside plain go closures.
+package fixture
+
+func runGrid(n, workers int, do func(i int) error) error {
+	for i := 0; i < n; i++ {
+		if err := do(i); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func sharedWrite(n int) int {
+	total := 0
+	xs := make([]int, n)
+	_ = runGrid(n, 2, func(i int) error {
+		xs[i] = i * i
+		total += i // want "grid worker writes captured total"
+		return nil
+	})
+	return total
+}
+
+func fixedSlot(n int) []int {
+	xs := make([]int, n)
+	_ = runGrid(n, 2, func(i int) error {
+		xs[0] = i // want "not indexed by the task's own index"
+		return nil
+	})
+	return xs
+}
+
+func plainFlag(n int) bool {
+	fail := false
+	xs := make([]int, n)
+	_ = runGrid(n, 2, func(i int) error {
+		if i > 3 {
+			fail = true // want "writes captured flag fail without synchronization"
+		}
+		xs[i] = i
+		return nil
+	})
+	return fail
+}
+
+func crossSlotRead(n int) []int {
+	sum := 0
+	xs := make([]int, n)
+	_ = runGrid(n, 2, func(i int) error {
+		xs[i] = sum // want "reads captured sum, which tasks also write"
+		sum += i    // want "grid worker writes captured sum"
+		return nil
+	})
+	return xs
+}
+
+func goWorkers(n int) []int {
+	out := make([]int, n)
+	hits := 0
+	for j := 0; j < n; j++ {
+		go func(j int) {
+			out[j] = j * 2
+			hits++ // want "goroutine writes captured hits"
+		}(j)
+	}
+	return out
+}

@@ -1,0 +1,61 @@
+//femtovet:fixturepath femtocr/internal/syncfixtureclean
+
+// Sync usage the syncguard analyzer must accept: Add before the go
+// statement with Done deferred, locks shared by pointer, straight-line
+// Lock/Unlock with no return between, deferred unlocks, fresh zero-value
+// locks from composite literals, and pointer-element ranges.
+package fixture
+
+import "sync"
+
+func goodPool(xs []int) {
+	var wg sync.WaitGroup
+	for i := range xs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			xs[i]++
+		}(i)
+	}
+	wg.Wait()
+}
+
+type guarded struct {
+	mu sync.Mutex
+	n  int
+}
+
+func pointerParam(g *guarded) int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.n
+}
+
+func straightLine(g *guarded) {
+	g.mu.Lock()
+	g.n++
+	g.mu.Unlock()
+}
+
+func pointerRange(gs []*guarded) int {
+	total := 0
+	for _, g := range gs {
+		g.mu.Lock()
+		total += g.n
+		g.mu.Unlock()
+	}
+	return total
+}
+
+func freshLock() *sync.Mutex {
+	mu := sync.Mutex{}
+	return &mu
+}
+
+var rw sync.RWMutex
+
+func readPath(out *int) {
+	rw.RLock()
+	defer rw.RUnlock()
+	*out++
+}

@@ -1,0 +1,98 @@
+//femtovet:fixturepath femtocr/internal/syncfixture
+
+// Sync-primitive misuse the syncguard analyzer must flag: WaitGroup.Add
+// inside the spawned goroutine, Done not deferred, locks copied by value
+// (parameters, assignments, declarations, range values), and Lock calls
+// whose matching Unlock is skipped along an early-return path or missing
+// from the block entirely.
+package fixture
+
+import "sync"
+
+func addInside(n int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		go func() {
+			wg.Add(1) // want "Add inside the spawned goroutine races with Wait"
+			defer wg.Done()
+		}()
+	}
+	wg.Wait()
+}
+
+func doneNotDeferred(xs []int) {
+	var wg sync.WaitGroup
+	for i := range xs {
+		wg.Add(1)
+		go func(i int) {
+			xs[i] *= 2
+			wg.Done() // want "Done is not deferred"
+		}(i)
+	}
+	wg.Wait()
+}
+
+type guarded struct {
+	mu sync.Mutex
+	n  int
+}
+
+func byValueParam(g guarded) int { // want "parameter of type guarded is passed by value"
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.n
+}
+
+func waitByValue(wg sync.WaitGroup) { // want "parameter of type sync.WaitGroup is passed by value"
+	wg.Wait()
+}
+
+func copyAssign(g *guarded) {
+	mu2 := g.mu // want "assignment copies g.mu"
+	mu2.Lock()
+	mu2.Unlock()
+}
+
+func declCopy(g *guarded) {
+	var mu2 = g.mu // want "declaration copies g.mu"
+	mu2.Lock()
+	mu2.Unlock()
+}
+
+func rangeCopy(gs []guarded) int {
+	total := 0
+	for _, g := range gs { // want "range value g copies a sync lock each iteration"
+		total += g.n
+	}
+	return total
+}
+
+var state = struct {
+	mu sync.Mutex
+	n  int
+}{}
+
+func earlyReturn(flag bool) int {
+	state.mu.Lock()
+	if flag {
+		return 0 // want "early return between state.mu.Lock and state.mu.Unlock"
+	}
+	state.mu.Unlock()
+	return state.n
+}
+
+func noUnlock() {
+	state.mu.Lock() // want "no matching Unlock in this block"
+	state.n++
+}
+
+var rw sync.RWMutex
+
+func readEarlyReturn(flag bool) int {
+	rw.RLock()
+	if flag {
+		return 1 // want "early return between rw.RLock and rw.RUnlock"
+	}
+	rw.RUnlock()
+	return 0
+}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -37,7 +38,7 @@ func runGrid(n, workers int, do func(i int) error) error {
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
-			if err := do(i); err != nil {
+			if err := runTask(do, i); err != nil {
 				return err
 			}
 		}
@@ -48,6 +49,7 @@ func runGrid(n, workers int, do func(i int) error) error {
 		stop atomic.Bool
 		wg   sync.WaitGroup
 	)
+	//femtovet:shared -- the atomic dispatch counter hands each index to exactly one worker, so errs[i] has a single writer
 	errs := make([]error, n)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -58,7 +60,7 @@ func runGrid(n, workers int, do func(i int) error) error {
 				if i >= n || stop.Load() {
 					return
 				}
-				if err := do(i); err != nil {
+				if err := runTask(do, i); err != nil {
 					errs[i] = err
 					stop.Store(true)
 					return
@@ -73,6 +75,18 @@ func runGrid(n, workers int, do func(i int) error) error {
 		}
 	}
 	return nil
+}
+
+// runTask invokes do(i), converting a panic into an error that names the
+// failing task, so one bad grid point reports its index instead of taking
+// down the whole sweep with a bare stack trace.
+func runTask(do func(i int) error, i int) (err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("task %d panicked: %v", i, p)
+		}
+	}()
+	return do(i)
 }
 
 // RunGrid exposes the deterministic worker pool to callers outside the

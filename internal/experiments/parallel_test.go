@@ -6,6 +6,7 @@ import (
 	"math"
 	"runtime"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"testing"
 
@@ -195,6 +196,114 @@ func TestMergeSummaryMatchesSummarize(t *testing.T) {
 	}
 	if _, err := mergeSummary(nil); !errors.Is(err, stats.ErrNoData) {
 		t.Fatalf("empty merge err = %v, want ErrNoData", err)
+	}
+}
+
+// TestRunGridRecoversPanic: a panicking task must come back as an error
+// naming the failing index — on both the sequential and pooled paths — not
+// as a process-killing stack trace. Run under -race this also proves the
+// recovery path itself is race-free.
+func TestRunGridRecoversPanic(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		var executed atomic.Int32
+		err := runGrid(40, workers, func(i int) error {
+			executed.Add(1)
+			if i == 7 {
+				panic("bad grid point")
+			}
+			return nil
+		})
+		if err == nil {
+			t.Fatalf("workers=%d: panic was swallowed", workers)
+		}
+		if !strings.Contains(err.Error(), "task 7 panicked") ||
+			!strings.Contains(err.Error(), "bad grid point") {
+			t.Fatalf("workers=%d: err = %v, want the panicking task's index and value", workers, err)
+		}
+		if got := executed.Load(); got >= 40 {
+			t.Fatalf("workers=%d: all %d tasks ran despite the panic at index 7", workers, got)
+		}
+	}
+	// A non-string panic value must survive the conversion too.
+	err := runGrid(3, 1, func(i int) error {
+		if i == 2 {
+			panic(errors.New("wrapped cause"))
+		}
+		return nil
+	})
+	if err == nil || !strings.Contains(err.Error(), "task 2 panicked: wrapped cause") {
+		t.Fatalf("err = %v, want task 2's panic value formatted in", err)
+	}
+}
+
+// TestMergeSummaryBitwiseSequential pins mergeSummary to its reference: a
+// plain sequential stats.Running accumulation over the same xs, folding one
+// single-observation accumulator per element in index order. Equality is
+// bitwise (struct ==, no tolerance): if mergeSummary is ever rewritten as a
+// chunked or tree-shaped merge — tempting at metro scale — the fold order
+// changes, the float rounding changes, and replication output silently
+// shifts; this test turns that into a hard failure. Lengths 0 and 1 cover
+// the no-data error and the degenerate single-observation summary.
+func TestMergeSummaryBitwiseSequential(t *testing.T) {
+	base := []float64{31.2, 29.8, 33.1, 30.5, 28.9, 1e-9, 7, math.Pi,
+		-4.25, 1e9, 0.1, 2.2, -31.7, 0, 55.5, 1e-300, 42}
+	for _, n := range []int{0, 1, 2, 5, len(base)} {
+		xs := base[:n]
+		var acc stats.Running
+		for _, x := range xs { // the reference: sequential, index order
+			var one stats.Running
+			one.Add(x)
+			acc.Merge(&one)
+		}
+		want, werr := acc.Summary()
+		got, gerr := mergeSummary(xs)
+		if n == 0 {
+			if !errors.Is(gerr, stats.ErrNoData) || !errors.Is(werr, stats.ErrNoData) {
+				t.Fatalf("n=0: errs = (%v, %v), want ErrNoData from both", gerr, werr)
+			}
+			continue
+		}
+		if gerr != nil || werr != nil {
+			t.Fatalf("n=%d: errs = (%v, %v)", n, gerr, werr)
+		}
+		if got != want {
+			t.Fatalf("n=%d: mergeSummary %+v differs bitwise from the sequential fold %+v", n, got, want)
+		}
+	}
+}
+
+// TestRunGridErrorAtLastIndex: an error at the final dispatched index has no
+// undispatched tasks left to cancel; it must still be recorded and surfaced
+// after the join rather than lost to an already-drained queue.
+func TestRunGridErrorAtLastIndex(t *testing.T) {
+	const n = 50
+	for _, workers := range []int{1, 4} {
+		err := runGrid(n, workers, func(i int) error {
+			if i == n-1 {
+				return fmt.Errorf("task %d failed", i)
+			}
+			return nil
+		})
+		if err == nil || !strings.Contains(err.Error(), fmt.Sprintf("task %d failed", n-1)) {
+			t.Fatalf("workers=%d: err = %v, want the last index's error", workers, err)
+		}
+	}
+}
+
+// TestRunGridConcurrentErrorsLowestWins forces two workers to fail at the
+// same instant — both tasks rendezvous at a barrier before erroring, so
+// neither failure can cancel the other — and checks the join still reports
+// the lowest-index error, exactly what a sequential loop would have hit.
+func TestRunGridConcurrentErrorsLowestWins(t *testing.T) {
+	var barrier sync.WaitGroup
+	barrier.Add(2)
+	err := runGrid(2, 2, func(i int) error {
+		barrier.Done()
+		barrier.Wait() // both tasks are now committed to failing
+		return fmt.Errorf("task %d failed", i)
+	})
+	if err == nil || !strings.Contains(err.Error(), "task 0 failed") {
+		t.Fatalf("err = %v, want task 0's error to win deterministically", err)
 	}
 }
 

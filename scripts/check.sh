@@ -18,6 +18,12 @@
 #                     rename can't silently drop the gate)
 #   7. go test -race — all tests under the race detector
 #
+# Both -race steps run with GOMAXPROCS=4: the CI container exposes a single
+# CPU (see the 1-CPU caveat the bench scripts record in BENCH_*.json), and
+# with GOMAXPROCS=1 goroutines barely interleave, so the race detector would
+# exercise almost none of the schedules it exists to catch. The override is
+# echoed into the CI log so a run's effective parallelism is auditable.
+#
 # Opt-in extras:
 #   FEMTOCR_FUZZ=1  — also run short fuzz smoke passes (-fuzztime=10s) over
 #                     the core solver fuzz targets.
@@ -48,11 +54,13 @@ echo "==> escape_check (advisory gcflags=-m cross-check of the hotpath contract)
 ./scripts/escape_check.sh
 
 echo "==> parallel determinism (workers=1/4/GOMAXPROCS, byte-identical figures)"
-go test -race -run '^(TestParallelDeterminism|TestTopologyStudyDeterminism)$' \
+echo "    GOMAXPROCS=4 (forced: 1-CPU runners don't interleave goroutines)"
+GOMAXPROCS=4 go test -race -run '^(TestParallelDeterminism|TestTopologyStudyDeterminism)$' \
     -count=1 ./internal/experiments
 
 echo "==> go test -race"
-go test -race ./...
+echo "    GOMAXPROCS=4 (forced: 1-CPU runners don't interleave goroutines)"
+GOMAXPROCS=4 go test -race ./...
 
 if [ -n "${FEMTOCR_FUZZ:-}" ]; then
     echo "==> fuzz smoke (FEMTOCR_FUZZ set)"
