@@ -7,6 +7,7 @@
 //	femtosim -scenario single -scheme proposed -runs 10 -gops 20
 //	femtosim -scenario interfering -scheme h2 -eta 0.5
 //	femtosim -scenario single -dualtrace
+//	femtosim -scenario metro -metro-fbs 400 -metro-users 2 -gops 1
 package main
 
 import (
@@ -42,7 +43,7 @@ func run(args []string, w io.Writer) (retErr error) {
 	fs := flag.NewFlagSet("femtosim", flag.ContinueOnError)
 	fs.SetOutput(out)
 	var (
-		scenario  = fs.String("scenario", "single", "scenario: single | interfering | noninterfering")
+		scenario  = fs.String("scenario", "single", "scenario: single | interfering | noninterfering | metro")
 		scheme    = fs.String("scheme", "proposed", "scheme: proposed | h1 | h2 | rr | maxtp")
 		seed      = fs.Uint64("seed", 1, "base random seed")
 		runs      = fs.Int("runs", 1, "independent replications")
@@ -64,6 +65,14 @@ func run(args []string, w io.Writer) (retErr error) {
 		showTrace = fs.Bool("trace", false, "print a slot-trace summary of the first run")
 		asJSON    = fs.Bool("json", false, "emit the last run's result as JSON (for scripting)")
 		workers   = fs.Int("workers", 0, "concurrent replications (0: one per CPU); results are identical for any value")
+		shards    = fs.Int("shards", 0, "metro: shard groups folded per run (0: one per interference component); results are identical for any value")
+		metroFBS  = fs.Int("metro-fbs", 100, "metro: femtocell count (poisson layout)")
+		metroUser = fs.Int("metro-users", 3, "metro: generated users per femtocell")
+		metroArea = fs.Float64("metro-area", 0, "metro: square area side in meters (0: auto-size from the FBS count)")
+		metroLay  = fs.String("metro-layout", "poisson", "metro: layout, poisson | grid")
+		metroRows = fs.Int("metro-rows", 4, "metro grid: city-block rows")
+		metroCols = fs.Int("metro-cols", 4, "metro grid: city-block columns")
+		metroBloc = fs.Int("metro-block", 3, "metro grid: interfering femtocells per block")
 		cpuProf   = fs.String("cpuprofile", "", "write a pprof CPU profile to this file")
 		memProf   = fs.String("memprofile", "", "write a pprof heap profile to this file on exit")
 	)
@@ -96,22 +105,6 @@ func run(args []string, w io.Writer) (retErr error) {
 		}
 	}
 
-	var net *netmodel.Network
-	switch *scenario {
-	case "single":
-		net, err = netmodel.PaperSingleFBS(cfg)
-	case "interfering":
-		net, err = netmodel.PaperInterfering(cfg)
-	case "noninterfering":
-		trio := video.PaperTrio()
-		net, err = netmodel.NonInterfering(cfg, [][]video.Sequence{trio[:], trio[:]})
-	default:
-		return fmt.Errorf("unknown scenario %q", *scenario)
-	}
-	if err != nil {
-		return err
-	}
-
 	var sch sim.Scheme
 	switch *scheme {
 	case "proposed":
@@ -126,6 +119,38 @@ func run(args []string, w io.Writer) (retErr error) {
 		sch = sim.MaxThroughput
 	default:
 		return fmt.Errorf("unknown scheme %q", *scheme)
+	}
+
+	if *scenario == "metro" {
+		var spec netmodel.TopologySpec
+		switch *metroLay {
+		case "poisson":
+			spec = netmodel.MetroPoissonSpec(*metroFBS, *metroUser)
+			spec.Width, spec.Height = *metroArea, *metroArea
+		case "grid":
+			spec = netmodel.MetroGridSpec(*metroRows, *metroCols, *metroUser)
+			spec.FBSPerBlock = *metroBloc
+		default:
+			return fmt.Errorf("unknown metro layout %q", *metroLay)
+		}
+		return runMetro(out, cfg, spec, sch, *seed, *runs, *gops,
+			sim.Parallelism{Workers: *workers, Shards: *shards}, *asJSON)
+	}
+
+	var net *netmodel.Network
+	switch *scenario {
+	case "single":
+		net, err = netmodel.PaperSingleFBS(cfg)
+	case "interfering":
+		net, err = netmodel.PaperInterfering(cfg)
+	case "noninterfering":
+		trio := video.PaperTrio()
+		net, err = netmodel.NonInterfering(cfg, [][]video.Sequence{trio[:], trio[:]})
+	default:
+		return fmt.Errorf("unknown scenario %q", *scenario)
+	}
+	if err != nil {
+		return err
 	}
 
 	fmt.Fprintf(out, "scenario=%s scheme=%s M=%d eta=%.3f gamma=%.2f eps=%.2f delta=%.2f B0=%.2f B1=%.2f\n",
@@ -216,6 +241,65 @@ func run(args []string, w io.Writer) (retErr error) {
 	fmt.Fprintf(out, "max conditional collision rate: %.3f (gamma = %.2f; collisions per truly-busy slot, eq. (6))\n", collAcc.Mean(), cfg.Gamma)
 	if *asJSON && lastResult != nil {
 		lastResult.DualTrace = nil // keep the JSON compact
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(lastResult); err != nil {
+			return err
+		}
+	}
+	return out.Err()
+}
+
+// runMetro generates a metro-scale topology, runs the sharded engine for
+// each replication, and reports folded quality plus the per-task ns
+// accounting that scripts/bench_shard.sh parses (the SHARDSTATS line). The
+// PSNR on that line is printed to full precision: the sharded fold is
+// bitwise-deterministic for any -shards/-workers setting, and the bench
+// harness cross-checks that.
+func runMetro(out *safeio.Writer, cfg netmodel.Config, spec netmodel.TopologySpec,
+	sch sim.Scheme, seed uint64, runs, gops int, parallel sim.Parallelism, asJSON bool) error {
+	if runs < 1 {
+		return fmt.Errorf("metro: runs=%d", runs)
+	}
+	net, err := netmodel.NewNetwork(cfg, spec)
+	if err != nil {
+		return err
+	}
+	var lastResult *sim.ShardedResult
+	var meanAcc, minAcc, fairAcc, collAcc stats.Running
+	for r := 0; r < runs; r++ {
+		res, err := sim.RunSharded(net, sim.Options{
+			Seed:     seed + uint64(r),
+			GOPs:     gops,
+			Scheme:   sch,
+			Parallel: parallel,
+		})
+		if err != nil {
+			return fmt.Errorf("run %d (seed %d): %w", r, seed+uint64(r), err)
+		}
+		if r == 0 {
+			largest := 0
+			for _, s := range res.PerShard {
+				if s.FBSs > largest {
+					largest = s.FBSs
+				}
+			}
+			fmt.Fprintf(out, "metro: layout=%s scheme=%s fbs=%d users=%d shards=%d largest-shard=%d edges=%d\n",
+				spec.Kind, sch, res.FBSs, res.Users, res.Shards, largest, net.Graph.NumEdges())
+			fmt.Fprintf(out, "SHARDSTATS groups=%d workers=%d wall_ns=%d sum_task_ns=%d max_task_ns=%d ideal_speedup=%.3f psnr=%.17g\n",
+				res.Groups, parallel.EffectiveWorkers(), res.Timing.WallNS,
+				res.Timing.SumTaskNS, res.Timing.MaxTaskNS, res.Timing.IdealSpeedup(), res.MeanPSNR)
+		}
+		meanAcc.Add(res.MeanPSNR)
+		minAcc.Add(res.MinUserPSNR)
+		fairAcc.Add(res.FairnessIndex)
+		collAcc.Add(res.CollisionRate)
+		lastResult = res
+	}
+	fmt.Fprintf(out, "mean Y-PSNR: %.2f dB (stddev %.2f over %d runs)\n", meanAcc.Mean(), meanAcc.StdDev(), runs)
+	fmt.Fprintf(out, "worst user: %.2f dB | fairness (Jain on gains): %.3f\n", minAcc.Mean(), fairAcc.Mean())
+	fmt.Fprintf(out, "max conditional collision rate: %.3f (gamma = %.2f; worst shard, eq. (6))\n", collAcc.Mean(), cfg.Gamma)
+	if asJSON && lastResult != nil {
 		enc := json.NewEncoder(out)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(lastResult); err != nil {

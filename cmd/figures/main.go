@@ -63,7 +63,7 @@ func run(args []string, w io.Writer) (retErr error) {
 	if *quick {
 		p = experiments.QuickParams()
 	}
-	p.Workers = *workers
+	p.Parallel.Workers = *workers
 
 	var figures []experiments.Named
 	switch strings.ToLower(*fig) {

@@ -14,7 +14,7 @@ func main() {
 	p := femtocr.QuickScale()
 	p.Runs = 3
 	p.GOPs = 6
-	p.Workers = 0 // one worker per CPU; results are identical for any count
+	p.Parallel.Workers = 0 // one worker per CPU; results are identical for any count
 
 	fmt.Println("interfering femtocells on a line (path interference graph)")
 	fmt.Printf("%-5s %-6s %-14s %-14s %-14s %-10s %-8s\n",

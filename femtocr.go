@@ -13,10 +13,18 @@
 //
 // Quick start:
 //
-//	net, err := femtocr.SingleFBSNetwork(femtocr.DefaultConfig())
+//	net, err := femtocr.NewNetwork(femtocr.DefaultConfig(), femtocr.PaperSingleSpec())
 //	if err != nil { ... }
 //	res, err := femtocr.Simulate(net, femtocr.SimOptions{Seed: 1, GOPs: 20})
 //	fmt.Println(res.MeanPSNR)
+//
+// Metro scale: generated city topologies decompose into independent
+// interference shards and run on the sharded engine:
+//
+//	net, err := femtocr.NewNetwork(femtocr.DefaultConfig(), femtocr.MetroPoissonSpec(10000, 100))
+//	res, err := femtocr.SimulateSharded(net, femtocr.SimOptions{
+//		Seed: 1, GOPs: 1, Parallel: femtocr.Parallelism{Workers: 8},
+//	})
 //
 // The deeper building blocks (solvers, sensing fusion, fading models) live
 // in the internal packages and are exercised through this facade and the
@@ -26,6 +34,7 @@ package femtocr
 import (
 	"femtocr/internal/experiments"
 	"femtocr/internal/netmodel"
+	"femtocr/internal/par"
 	"femtocr/internal/sim"
 	"femtocr/internal/stats"
 	"femtocr/internal/video"
@@ -62,6 +71,46 @@ const (
 // ExperimentParams scales an experiment (runs, GOPs, seed).
 type ExperimentParams = experiments.Params
 
+// Parallelism is the unified parallel-execution knob bundle shared by
+// SimOptions (SimulateSharded) and ExperimentParams: Workers caps
+// concurrent tasks (0: one per CPU) and Shards groups interference
+// components into grid tasks (0: one per component). Both only change the
+// schedule — results are bitwise-identical for any setting.
+type Parallelism = par.Parallelism
+
+// TopologySpec declares a deployment layout for NewNetwork: the paper's
+// single-FBS and Fig. 5 scenarios, disjoint-coverage lines, or generated
+// metro-scale grids and Poisson scatters.
+type TopologySpec = netmodel.TopologySpec
+
+// TopologyKind selects a TopologySpec layout.
+type TopologyKind = netmodel.TopologyKind
+
+// The deployment layouts NewNetwork understands.
+const (
+	// TopologySingle is the paper's single-FBS scenario (§V-A).
+	TopologySingle = netmodel.KindSingle
+	// TopologyNonInterferingLine spaces FBSs 4R apart: an edgeless
+	// interference graph (Table II).
+	TopologyNonInterferingLine = netmodel.KindNonInterferingLine
+	// TopologyInterferingPath spaces FBSs 1.5R apart: the Fig. 5 path.
+	TopologyInterferingPath = netmodel.KindInterferingPath
+	// TopologyMetroGrid tiles city blocks of interfering FBSs separated by
+	// streets; the interference graph decomposes into one path per block.
+	TopologyMetroGrid = netmodel.KindMetroGrid
+	// TopologyMetroPoisson scatters FBSs uniformly over an area; clusters
+	// emerge from the spatial density.
+	TopologyMetroPoisson = netmodel.KindMetroPoisson
+)
+
+// ShardedResult aggregates a SimulateSharded run: quality fields folded
+// deterministically across interference shards, per-shard summaries, and
+// per-task ns accounting.
+type ShardedResult = sim.ShardedResult
+
+// ShardSummary is one shard's fixed-size reduction inside a ShardedResult.
+type ShardSummary = sim.ShardSummary
+
 // Figure is a rendered experiment result: one curve per scheme with 95%
 // confidence intervals, with text-table and CSV output.
 type Figure = stats.Figure
@@ -79,28 +128,96 @@ func Sequences() []Sequence { return video.StandardSequences() }
 // SequenceByName looks up a preset video sequence.
 func SequenceByName(name string) (Sequence, error) { return video.SequenceByName(name) }
 
+// NewNetwork assembles a network from a configuration and a topology
+// specification — the single entry point behind every deployment scenario,
+// from the paper's three-user single cell to a generated 10k-FBS metro.
+// Use the *Spec helpers (PaperSingleSpec, PaperInterferingSpec,
+// NonInterferingSpec, MetroGridSpec, MetroPoissonSpec) for common layouts.
+func NewNetwork(cfg Config, spec TopologySpec) (*Network, error) {
+	return netmodel.NewNetwork(cfg, spec)
+}
+
+// SingleSpec declares a single-FBS layout streaming the given sequences.
+func SingleSpec(videos []Sequence) TopologySpec { return netmodel.SingleSpec(videos) }
+
+// PaperSingleSpec declares the exact §V-A scenario: one FBS streaming Bus,
+// Mobile and Harbor to three users.
+func PaperSingleSpec() TopologySpec { return netmodel.PaperSingleSpec() }
+
+// NonInterferingSpec declares disjoint-coverage femtocells, one video group
+// per FBS.
+func NonInterferingSpec(videosPerFBS [][]Sequence) TopologySpec {
+	return netmodel.NonInterferingSpec(videosPerFBS)
+}
+
+// InterferingPathSpec declares the §V-B path layout, one video group per
+// FBS.
+func InterferingPathSpec(videosPerFBS [][]Sequence) TopologySpec {
+	return netmodel.InterferingPathSpec(videosPerFBS)
+}
+
+// PaperInterferingSpec declares the exact §V-B scenario: three FBSs on the
+// Fig. 5 path, each streaming the Bus/Mobile/Harbor trio.
+func PaperInterferingSpec() TopologySpec { return netmodel.PaperInterferingSpec() }
+
+// MetroGridSpec declares a rows x cols city-block grid (three interfering
+// FBSs per block by default) with usersPerFBS generated streams per cell
+// (0: three, the paper's load).
+func MetroGridSpec(rows, cols, usersPerFBS int) TopologySpec {
+	return netmodel.MetroGridSpec(rows, cols, usersPerFBS)
+}
+
+// MetroPoissonSpec declares fbss femtocells scattered uniformly over an
+// automatically sized urban area with usersPerFBS generated streams per
+// cell (0: three, the paper's load).
+func MetroPoissonSpec(fbss, usersPerFBS int) TopologySpec {
+	return netmodel.MetroPoissonSpec(fbss, usersPerFBS)
+}
+
 // SingleFBSNetwork builds the paper's single-FBS scenario streaming Bus,
 // Mobile and Harbor to three users.
-func SingleFBSNetwork(cfg Config) (*Network, error) { return netmodel.PaperSingleFBS(cfg) }
+//
+// Deprecated: use NewNetwork(cfg, PaperSingleSpec()).
+func SingleFBSNetwork(cfg Config) (*Network, error) {
+	return NewNetwork(cfg, PaperSingleSpec())
+}
 
 // CustomSingleFBSNetwork builds a single-FBS scenario with one user per
 // provided video sequence.
+//
+// Deprecated: use NewNetwork(cfg, SingleSpec(videos)).
 func CustomSingleFBSNetwork(cfg Config, videos []Sequence) (*Network, error) {
-	return netmodel.SingleFBS(cfg, videos)
+	return NewNetwork(cfg, SingleSpec(videos))
 }
 
 // InterferingNetwork builds the paper's §V-B scenario: three FBSs on the
 // Fig. 5 path graph, three users each.
-func InterferingNetwork(cfg Config) (*Network, error) { return netmodel.PaperInterfering(cfg) }
+//
+// Deprecated: use NewNetwork(cfg, PaperInterferingSpec()).
+func InterferingNetwork(cfg Config) (*Network, error) {
+	return NewNetwork(cfg, PaperInterferingSpec())
+}
 
 // NonInterferingNetwork builds N femtocells with disjoint coverage, one
 // group of users per femtocell.
+//
+// Deprecated: use NewNetwork(cfg, NonInterferingSpec(videosPerFBS)).
 func NonInterferingNetwork(cfg Config, videosPerFBS [][]Sequence) (*Network, error) {
-	return netmodel.NonInterfering(cfg, videosPerFBS)
+	return NewNetwork(cfg, NonInterferingSpec(videosPerFBS))
 }
 
 // Simulate runs one simulation.
 func Simulate(net *Network, opts SimOptions) (*SimResult, error) { return sim.Run(net, opts) }
+
+// SimulateSharded runs the network through the sharded engine: each
+// connected component of the interference graph simulates independently on
+// the worker pool (opts.Parallel) and the per-shard summaries fold
+// deterministically in ascending component order. On a connected network
+// the result matches Simulate bit for bit; on a generated metro it scales
+// to millions of users with O(shards) result memory.
+func SimulateSharded(net *Network, opts SimOptions) (*ShardedResult, error) {
+	return sim.RunSharded(net, opts)
+}
 
 // PaperScale returns the paper's experiment scale (10 runs, 20 GOPs).
 func PaperScale() ExperimentParams { return experiments.PaperParams() }

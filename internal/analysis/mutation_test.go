@@ -152,21 +152,28 @@ func ScaleInto(dst, src []float64) {
 	assertSingleFinding(t, diags, "aliascheck", "stored into package-level state")
 }
 
+// mutatePar seeds one bug into par/par.go, the shared grid primitive; the
+// file is self-contained and type-checks standalone.
+func mutatePar(t *testing.T, old, new string) string {
+	t.Helper()
+	return mutate(t, "../par/par.go", old, new)
+}
+
 // mutateParallel seeds one bug into experiments/parallel.go and grafts on
 // the minimal Params shim the file needs to type-check standalone (the
 // real struct lives in a sibling file of the package).
 func mutateParallel(t *testing.T, old, new string) string {
 	t.Helper()
 	src := mutate(t, "../experiments/parallel.go", old, new)
-	return src + "\ntype Params struct{ Workers int }\n"
+	return src + "\ntype Params struct {\n\tWorkers  int\n\tParallel par.Parallelism\n}\n"
 }
 
 // TestMutationDroppedSharedReason: deleting the //femtovet:shared
-// justification on runGrid's error slots re-arms the slot-ownership check —
+// justification on RunGrid's error slots re-arms the slot-ownership check —
 // the worker's errs[i] write is keyed by the dispatch counter, not a task
 // parameter, so without the directive gridslot alone must catch it.
 func TestMutationDroppedSharedReason(t *testing.T) {
-	src := mutateParallel(t,
+	src := mutatePar(t,
 		"\t//femtovet:shared -- the atomic dispatch counter hands each index to exactly one worker, so errs[i] has a single writer\n",
 		"")
 	diags := suiteOnSource(t, "femtocr/internal/gridmut", "gridmut.go", src, All())
@@ -188,7 +195,7 @@ func TestMutationDescendingMerge(t *testing.T) {
 // worker lets Wait return before late workers are counted; syncguard alone
 // must catch it.
 func TestMutationAddInsideWorker(t *testing.T) {
-	src := mutateParallel(t,
+	src := mutatePar(t,
 		"\t\twg.Add(1)\n\t\tgo func() {\n",
 		"\t\tgo func() {\n\t\t\twg.Add(1)\n")
 	diags := suiteOnSource(t, "femtocr/internal/syncmut", "syncmut.go", src, All())

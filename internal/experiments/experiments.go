@@ -10,6 +10,7 @@ import (
 	"fmt"
 
 	"femtocr/internal/netmodel"
+	"femtocr/internal/par"
 	"femtocr/internal/sim"
 	"femtocr/internal/stats"
 )
@@ -30,7 +31,15 @@ type Params struct {
 	// non-positive value) uses runtime.GOMAXPROCS(0). Every run derives all
 	// randomness from its own seed, so results are bitwise-identical for
 	// any worker count.
+	//
+	// Deprecated: set Parallel.Workers instead. This field is still honored
+	// when Parallel.Workers is zero so existing callers keep working.
 	Workers int
+	// Parallel bundles the parallel-execution knobs shared with
+	// sim.Options: Workers caps concurrent runs (same contract as the
+	// deprecated Workers field, which it supersedes) and Shards is
+	// forwarded to sharded simulations.
+	Parallel par.Parallelism
 	// Config is the scenario configuration; zero value means the paper's
 	// defaults.
 	Config netmodel.Config

@@ -1,100 +1,33 @@
 package experiments
 
 import (
-	"fmt"
-	"runtime"
-	"sync"
-	"sync/atomic"
-
+	"femtocr/internal/par"
 	"femtocr/internal/stats"
 )
 
 // workers resolves the effective worker count for this experiment: the
-// explicit Params.Workers when positive, else one worker per available CPU.
+// unified Parallel.Workers knob when positive, else the deprecated
+// Params.Workers field, else one worker per available CPU.
 func (p Params) workers() int {
-	if p.Workers > 0 {
+	if p.Parallel.Workers <= 0 && p.Workers > 0 {
 		return p.Workers
 	}
-	return runtime.GOMAXPROCS(0)
+	return p.Parallel.EffectiveWorkers()
 }
 
-// runGrid executes n independent tasks over a pool of workers, calling
-// do(i) exactly once for every index not skipped by cancellation. Each task
-// must write its output into its own preallocated slot, so the results are
-// identical — bit for bit — for any worker count; only the wall-clock
-// schedule changes. On the first task error the remaining undispatched
-// tasks are cancelled, and the lowest-index recorded error is returned
-// (indices are dispatched in ascending order, so this is the error a
-// sequential loop would have hit first among those that ran).
+// runGrid executes n independent tasks over a pool of workers; see
+// par.RunGrid for the determinism contract (per-task slots, post-join
+// index-order aggregation, lowest-index error, panic recovery).
 func runGrid(n, workers int, do func(i int) error) error {
-	if n <= 0 {
-		return nil
-	}
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > n {
-		workers = n
-	}
-	if workers <= 1 {
-		for i := 0; i < n; i++ {
-			if err := runTask(do, i); err != nil {
-				return err
-			}
-		}
-		return nil
-	}
-	var (
-		next atomic.Int64
-		stop atomic.Bool
-		wg   sync.WaitGroup
-	)
-	//femtovet:shared -- the atomic dispatch counter hands each index to exactly one worker, so errs[i] has a single writer
-	errs := make([]error, n)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= n || stop.Load() {
-					return
-				}
-				if err := runTask(do, i); err != nil {
-					errs[i] = err
-					stop.Store(true)
-					return
-				}
-			}
-		}()
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return err
-		}
-	}
-	return nil
-}
-
-// runTask invokes do(i), converting a panic into an error that names the
-// failing task, so one bad grid point reports its index instead of taking
-// down the whole sweep with a bare stack trace.
-func runTask(do func(i int) error, i int) (err error) {
-	defer func() {
-		if p := recover(); p != nil {
-			err = fmt.Errorf("task %d panicked: %v", i, p)
-		}
-	}()
-	return do(i)
+	return par.RunGrid(n, workers, do)
 }
 
 // RunGrid exposes the deterministic worker pool to callers outside the
-// package (the CLI replication loops). See runGrid for the contract: do(i)
-// must write only into task i's own preallocated slot, and all aggregation
-// must happen after RunGrid returns, in index order.
+// package (the CLI replication loops). See par.RunGrid for the contract:
+// do(i) must write only into task i's own preallocated slot, and all
+// aggregation must happen after RunGrid returns, in index order.
 func RunGrid(n, workers int, do func(i int) error) error {
-	return runGrid(n, workers, do)
+	return par.RunGrid(n, workers, do)
 }
 
 // mergeSummary folds per-task observations into a Summary by merging

@@ -212,6 +212,40 @@ func (g *Graph) Components() [][]int {
 	return comps
 }
 
+// Subgraph returns the induced subgraph on the given vertices, which must
+// be valid, strictly ascending, and duplicate-free. Vertex i of the result
+// stands for vertices[i]; an edge is present exactly when both endpoints
+// are in the set and adjacent in g. Partitioning a deployment by
+// Components and inducing each component yields standalone interference
+// graphs for the sharded simulation engine.
+func (g *Graph) Subgraph(vertices []int) (*Graph, error) {
+	pos := make([]int, g.n)
+	for i := range pos {
+		pos[i] = -1
+	}
+	prev := -1
+	for i, u := range vertices {
+		if u < 0 || u >= g.n {
+			return nil, fmt.Errorf("%w: %d with n=%d", ErrBadVertex, u, g.n)
+		}
+		if u <= prev {
+			return nil, fmt.Errorf("%w: vertices must be strictly ascending, got %d after %d", ErrBadVertex, u, prev)
+		}
+		prev = u
+		pos[u] = i
+	}
+	sub := New(len(vertices))
+	for i, u := range vertices {
+		for _, v := range g.Neighbors(u) {
+			j := pos[v]
+			if j > i { // each edge linked once, from its lower endpoint
+				sub.link(i, j)
+			}
+		}
+	}
+	return sub, nil
+}
+
 // IsIndependent reports whether no two vertices in set are adjacent, i.e.
 // the set of FBSs may share a channel.
 func (g *Graph) IsIndependent(set []int) bool {
@@ -274,8 +308,13 @@ func (g *Graph) GreedyColoring() ([]int, int) {
 func (g *Graph) Clone() *Graph {
 	c := New(g.n)
 	for u := 0; u < g.n; u++ {
+		// link maintains both adj and the sorted neighbor lists (writing
+		// adj directly would leave Neighbors empty on the copy); it is
+		// insensitive to the map's iteration order.
 		for v := range g.adj[u] {
-			c.adj[u][v] = true
+			if u < v {
+				c.link(u, v)
+			}
 		}
 	}
 	return c

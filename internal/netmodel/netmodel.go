@@ -330,49 +330,35 @@ func build(cfg Config, disks []geometry.Disk, videosPerFBS [][]video.Sequence) (
 }
 
 // SingleFBS builds the paper's first scenario: one FBS streaming one video
-// per user (Bus, Mobile, Harbor to three users by default).
+// per user (Bus, Mobile, Harbor to three users by default). Equivalent to
+// NewNetwork with SingleSpec.
 func SingleFBS(cfg Config, videos []video.Sequence) (*Network, error) {
-	disk, err := geometry.NewDisk(geometry.Point{}, cfg.FemtoRadius)
-	if err != nil {
-		return nil, err
-	}
-	return build(cfg, []geometry.Disk{disk}, [][]video.Sequence{videos})
+	return NewNetwork(cfg, SingleSpec(videos))
 }
 
 // NonInterfering builds N femtocells spaced far apart (no coverage overlap),
-// the Table II case: the interference graph is edgeless.
+// the Table II case: the interference graph is edgeless. Equivalent to
+// NewNetwork with NonInterferingSpec.
 func NonInterfering(cfg Config, videosPerFBS [][]video.Sequence) (*Network, error) {
-	n := len(videosPerFBS)
-	disks, err := geometry.LineDeployment(geometry.Point{}, n, 4*cfg.FemtoRadius, cfg.FemtoRadius)
-	if err != nil {
-		return nil, err
-	}
-	return build(cfg, disks, videosPerFBS)
+	return NewNetwork(cfg, NonInterferingSpec(videosPerFBS))
 }
 
 // InterferingPath builds the §V-B scenario: N femtocells on a line with
 // adjacent coverage overlap, so the interference graph is the path of
-// Fig. 5 (FBS 1 - FBS 2 - FBS 3 for N=3).
+// Fig. 5 (FBS 1 - FBS 2 - FBS 3 for N=3). Equivalent to NewNetwork with
+// InterferingPathSpec.
 func InterferingPath(cfg Config, videosPerFBS [][]video.Sequence) (*Network, error) {
-	n := len(videosPerFBS)
-	disks, err := geometry.LineDeployment(geometry.Point{}, n, 1.5*cfg.FemtoRadius, cfg.FemtoRadius)
-	if err != nil {
-		return nil, err
-	}
-	return build(cfg, disks, videosPerFBS)
+	return NewNetwork(cfg, InterferingPathSpec(videosPerFBS))
 }
 
 // PaperSingleFBS is the exact single-FBS scenario of §V-A: three users
 // receiving Bus, Mobile and Harbor.
 func PaperSingleFBS(cfg Config) (*Network, error) {
-	trio := video.PaperTrio()
-	return SingleFBS(cfg, trio[:])
+	return NewNetwork(cfg, PaperSingleSpec())
 }
 
 // PaperInterfering is the exact interfering scenario of §V-B: three FBSs in
 // a path, three users each, each FBS streaming three different videos.
 func PaperInterfering(cfg Config) (*Network, error) {
-	trio := video.PaperTrio()
-	groups := [][]video.Sequence{trio[:], trio[:], trio[:]}
-	return InterferingPath(cfg, groups)
+	return NewNetwork(cfg, PaperInterferingSpec())
 }

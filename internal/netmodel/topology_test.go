@@ -1,0 +1,158 @@
+package netmodel
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"femtocr/internal/video"
+)
+
+// TestNewNetworkReproducesLegacyConstructors pins the redesign contract:
+// the spec-driven entry point must build byte-identical networks to the
+// constructors it replaces, so deprecated wrappers change nothing.
+func TestNewNetworkReproducesLegacyConstructors(t *testing.T) {
+	cfg := DefaultConfig()
+	trio := video.PaperTrio()
+
+	legacySingle, err := PaperSingleFBS(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	specSingle, err := NewNetwork(cfg, PaperSingleSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(legacySingle, specSingle) {
+		t.Fatal("PaperSingleSpec network differs from PaperSingleFBS")
+	}
+
+	legacyPath, err := PaperInterfering(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	specPath, err := NewNetwork(cfg, PaperInterferingSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(legacyPath, specPath) {
+		t.Fatal("PaperInterferingSpec network differs from PaperInterfering")
+	}
+
+	groups := [][]video.Sequence{trio[:], trio[:]}
+	legacyNon, err := NonInterfering(cfg, groups)
+	if err != nil {
+		t.Fatal(err)
+	}
+	specNon, err := NewNetwork(cfg, NonInterferingSpec(groups))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(legacyNon, specNon) {
+		t.Fatal("NonInterferingSpec network differs from NonInterfering")
+	}
+}
+
+func TestMetroGridDecomposesIntoBlocks(t *testing.T) {
+	cfg := DefaultConfig()
+	spec := MetroGridSpec(2, 3, 2) // 6 blocks of 3 FBSs, 2 users each
+	net, err := NewNetwork(cfg, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if net.NumFBS != 18 {
+		t.Fatalf("NumFBS=%d, want 18", net.NumFBS)
+	}
+	if net.K() != 36 {
+		t.Fatalf("K=%d, want 36", net.K())
+	}
+	comps := net.Graph.Components()
+	if len(comps) != 6 {
+		t.Fatalf("%d components, want 6 blocks", len(comps))
+	}
+	for ci, comp := range comps {
+		if len(comp) != 3 {
+			t.Fatalf("block %d has %d FBSs, want 3", ci, len(comp))
+		}
+	}
+	// Each block is the paper's path: 2 edges per 3-FBS block, no more.
+	if got, want := net.Graph.NumEdges(), 6*2; got != want {
+		t.Fatalf("%d edges, want %d (a path per block)", got, want)
+	}
+}
+
+func TestMetroPoissonDeterministicAndSized(t *testing.T) {
+	cfg := DefaultConfig()
+	spec := MetroPoissonSpec(40, 2)
+	a, err := NewNetwork(cfg, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewNetwork(cfg, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("metro poisson network is not reproducible from the seed")
+	}
+	if a.NumFBS != 40 || a.K() != 80 {
+		t.Fatalf("NumFBS=%d K=%d, want 40/80", a.NumFBS, a.K())
+	}
+
+	// A different seed moves the layout.
+	cfg2 := cfg
+	cfg2.Seed = cfg.Seed + 1
+	c, err := NewNetwork(cfg2, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a.Users[0].Pos, c.Users[0].Pos) {
+		t.Fatal("seed change did not move the Poisson layout")
+	}
+}
+
+func TestGeneratedLoadRotatesPool(t *testing.T) {
+	cfg := DefaultConfig()
+	pool := video.PaperTrio()
+	spec := TopologySpec{Kind: KindMetroGrid, Rows: 1, Cols: 2, FBSPerBlock: 1,
+		UsersPerFBS: 2, VideoPool: pool[:]}
+	net, err := NewNetwork(cfg, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantNames := []string{pool[0].Name, pool[1].Name, pool[2].Name, pool[0].Name}
+	for j, u := range net.Users {
+		if u.Seq.Name != wantNames[j] {
+			t.Fatalf("user %d streams %s, want %s", j, u.Seq.Name, wantNames[j])
+		}
+	}
+}
+
+func TestTopologySpecErrors(t *testing.T) {
+	cfg := DefaultConfig()
+	cases := []TopologySpec{
+		{},                          // no kind
+		{Kind: KindMetroGrid},       // no grid dims
+		{Kind: KindMetroPoisson},    // no FBS count
+		{Kind: KindInterferingPath}, // neither Videos nor FBSs
+		{Kind: KindMetroPoisson, FBSs: 2, Videos: make([][]video.Sequence, 3)}, // mismatched load
+	}
+	for i, spec := range cases {
+		if _, err := NewNetwork(cfg, spec); !errors.Is(err, ErrBadNetwork) {
+			t.Errorf("case %d: err=%v, want ErrBadNetwork", i, err)
+		}
+	}
+}
+
+func TestTopologyKindString(t *testing.T) {
+	kinds := []TopologyKind{KindSingle, KindNonInterferingLine, KindInterferingPath,
+		KindMetroGrid, KindMetroPoisson, TopologyKind(99)}
+	seen := map[string]bool{}
+	for _, k := range kinds {
+		s := k.String()
+		if s == "" || seen[s] {
+			t.Fatalf("kind %d has empty or duplicate name %q", int(k), s)
+		}
+		seen[s] = true
+	}
+}

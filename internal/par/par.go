@@ -1,0 +1,126 @@
+// Package par provides the deterministic parallel-execution primitives
+// shared by the simulation and experiment layers: a single Parallelism
+// knob bundle (workers and shard groups) and the RunGrid worker pool whose
+// results are bitwise-identical for any worker count. It sits below both
+// internal/sim and internal/experiments so the two can share one contract
+// without an import cycle.
+package par
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Parallelism bundles the parallel-execution knobs threaded through the
+// simulation and experiment APIs. The zero value means "auto": one worker
+// per available CPU and one shard group per interference component. Both
+// knobs only change the wall-clock schedule — every result folded through
+// RunGrid is bitwise-identical for any setting.
+type Parallelism struct {
+	// Workers caps the number of concurrently executing tasks; zero or
+	// negative means runtime.GOMAXPROCS(0).
+	Workers int
+	// Shards caps how many grid tasks a sharded simulation groups its
+	// interference components into (see sim.RunSharded). Zero or negative
+	// means one task per component; values above the component count are
+	// clamped. Grouping only affects scheduling granularity and the
+	// per-task ns accounting — never the folded results.
+	Shards int
+}
+
+// EffectiveWorkers resolves the worker count: Workers when positive, else
+// one per available CPU.
+func (p Parallelism) EffectiveWorkers() int {
+	if p.Workers > 0 {
+		return p.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// EffectiveShards resolves the shard-group count for n independent units of
+// work: Shards clamped to [1, n], with zero or negative meaning n (one task
+// per unit). n must be positive for the result to be meaningful.
+func (p Parallelism) EffectiveShards(n int) int {
+	if n < 1 {
+		return 0
+	}
+	if p.Shards <= 0 || p.Shards > n {
+		return n
+	}
+	return p.Shards
+}
+
+// RunGrid executes n independent tasks over a pool of workers, calling
+// do(i) exactly once for every index not skipped by cancellation. Each task
+// must write its output into its own preallocated slot, and all aggregation
+// must happen after RunGrid returns, in index order — then the results are
+// identical, bit for bit, for any worker count; only the wall-clock
+// schedule changes. On the first task error the remaining undispatched
+// tasks are cancelled, and the lowest-index recorded error is returned
+// (indices are dispatched in ascending order, so this is the error a
+// sequential loop would have hit first among those that ran). A task panic
+// is recovered into an error naming the task's index.
+func RunGrid(n, workers int, do func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := runTask(do, i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var (
+		next atomic.Int64
+		stop atomic.Bool
+		wg   sync.WaitGroup
+	)
+	//femtovet:shared -- the atomic dispatch counter hands each index to exactly one worker, so errs[i] has a single writer
+	errs := make([]error, n)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n || stop.Load() {
+					return
+				}
+				if err := runTask(do, i); err != nil {
+					errs[i] = err
+					stop.Store(true)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// runTask invokes do(i), converting a panic into an error that names the
+// failing task, so one bad grid point reports its index instead of taking
+// down the whole sweep with a bare stack trace.
+func runTask(do func(i int) error, i int) (err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("task %d panicked: %v", i, p)
+		}
+	}()
+	return do(i)
+}

@@ -1,0 +1,92 @@
+package par
+
+import (
+	"errors"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+func TestEffectiveWorkers(t *testing.T) {
+	if got := (Parallelism{Workers: 3}).EffectiveWorkers(); got != 3 {
+		t.Fatalf("Workers=3: got %d", got)
+	}
+	want := runtime.GOMAXPROCS(0)
+	if got := (Parallelism{}).EffectiveWorkers(); got != want {
+		t.Fatalf("zero value: got %d, want GOMAXPROCS %d", got, want)
+	}
+	if got := (Parallelism{Workers: -1}).EffectiveWorkers(); got != want {
+		t.Fatalf("negative: got %d, want GOMAXPROCS %d", got, want)
+	}
+}
+
+func TestEffectiveShards(t *testing.T) {
+	cases := []struct {
+		shards, n, want int
+	}{
+		{0, 7, 7},   // auto: one group per unit
+		{-2, 7, 7},  // negative: auto
+		{3, 7, 3},   // explicit cap
+		{7, 7, 7},   // exact
+		{100, 7, 7}, // clamped to the unit count
+		{1, 7, 1},   // single group
+		{4, 0, 0},   // no units
+		{4, -1, 0},  // degenerate
+	}
+	for _, c := range cases {
+		if got := (Parallelism{Shards: c.shards}).EffectiveShards(c.n); got != c.want {
+			t.Errorf("Shards=%d n=%d: got %d, want %d", c.shards, c.n, got, c.want)
+		}
+	}
+}
+
+func TestRunGridRunsEveryTaskOnce(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		const n = 37
+		var counts [n]atomic.Int64
+		err := RunGrid(n, workers, func(i int) error {
+			counts[i].Add(1)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := range counts {
+			if got := counts[i].Load(); got != 1 {
+				t.Fatalf("workers=%d: task %d ran %d times", workers, i, got)
+			}
+		}
+	}
+}
+
+func TestRunGridRecoversPanic(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		err := RunGrid(12, workers, func(i int) error {
+			if i == 5 {
+				panic("shard blew up")
+			}
+			return nil
+		})
+		if err == nil {
+			t.Fatalf("workers=%d: want panic converted to error", workers)
+		}
+		if !strings.Contains(err.Error(), "task 5 panicked") ||
+			!strings.Contains(err.Error(), "shard blew up") {
+			t.Fatalf("workers=%d: error %q does not name task 5 and the panic value", workers, err)
+		}
+	}
+}
+
+func TestRunGridReturnsTaskError(t *testing.T) {
+	boom := errors.New("boom")
+	err := RunGrid(8, 4, func(i int) error {
+		if i == 3 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("got %v, want wrapped boom", err)
+	}
+}

@@ -13,6 +13,7 @@ import (
 
 	"femtocr/internal/core"
 	"femtocr/internal/netmodel"
+	"femtocr/internal/par"
 	"femtocr/internal/rng"
 	"femtocr/internal/sensing"
 	"femtocr/internal/spectrum"
@@ -105,7 +106,14 @@ type Options struct {
 	// Recorder, when non-nil, receives slot-by-slot events for post-hoc
 	// analysis (see internal/trace).
 	Recorder *trace.Recorder
+	// Parallel bundles the worker/shard knobs for RunSharded (see
+	// par.Parallelism). Run itself is single-goroutine and ignores it.
+	Parallel Parallelism
 }
+
+// Parallelism is the unified parallel-execution knob bundle shared with the
+// experiment layer; see par.Parallelism.
+type Parallelism = par.Parallelism
 
 func (o *Options) withDefaults() Options {
 	out := *o
@@ -133,6 +141,10 @@ type Result struct {
 	// BoundPSNR is the mean upper-bound quality (eq. (23) converted to dB),
 	// zero unless TrackBound was set.
 	BoundPSNR float64
+	// PerUserBound is each user's mean upper-bound quality, nil unless
+	// TrackBound was set. BoundPSNR is its mean; the sharded engine re-sums
+	// it in user order to fold bounds across shards bitwise.
+	PerUserBound []float64
 	// MinUserPSNR is the worst per-user mean quality — the user experience
 	// floor, which proportional fairness is supposed to protect.
 	MinUserPSNR float64
@@ -678,8 +690,10 @@ func (e *engine) result() *Result {
 	res.MeanPSNR = sum / float64(k)
 	res.FairnessIndex = stats.JainIndex(gains)
 	if e.bound != nil {
+		res.PerUserBound = make([]float64, k)
 		bsum := 0.0
-		for _, p := range e.bound {
+		for j, p := range e.bound {
+			res.PerUserBound[j] = p.MeanPSNR()
 			bsum += p.MeanPSNR()
 		}
 		res.BoundPSNR = bsum / float64(k)

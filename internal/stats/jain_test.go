@@ -1,0 +1,88 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestJainAccumulatorMatchesJainIndex(t *testing.T) {
+	xs := []float64{3.5, 1.25, 0.75, 4.0, 2.125, 0.5}
+	var a JainAccumulator
+	for _, x := range xs {
+		a.Add(x)
+	}
+	if got, want := a.Index(), JainIndex(xs); got != want {
+		t.Fatalf("accumulated index %v != direct %v", got, want)
+	}
+	if a.N() != len(xs) {
+		t.Fatalf("N=%d, want %d", a.N(), len(xs))
+	}
+}
+
+func TestJainAccumulatorSingleShardFoldBitwise(t *testing.T) {
+	// Merging one populated accumulator into a zero one must copy it
+	// exactly — the single-shard reduction of the sharded engine.
+	xs := []float64{0.1, 0.2, 0.3, 0.7}
+	var shard JainAccumulator
+	for _, x := range xs {
+		shard.Add(x)
+	}
+	var fold JainAccumulator
+	fold.Merge(&shard)
+	if fold != shard {
+		t.Fatalf("fold %+v != shard %+v", fold, shard)
+	}
+	if got, want := fold.Index(), JainIndex(xs); got != want {
+		t.Fatalf("index %v != %v", got, want)
+	}
+}
+
+func TestJainAccumulatorMergeOrderDeterministic(t *testing.T) {
+	// The same ascending fold over shard accumulators must be reproducible
+	// run to run, and equal to accumulating the concatenated stream's
+	// sufficient statistics shard by shard.
+	shards := [][]float64{{1, 2}, {3}, {4, 5, 6}}
+	fold := func() JainAccumulator {
+		var acc JainAccumulator
+		for _, xs := range shards {
+			var s JainAccumulator
+			for _, x := range xs {
+				s.Add(x)
+			}
+			acc.Merge(&s)
+		}
+		return acc
+	}
+	a, b := fold(), fold()
+	if a != b {
+		t.Fatalf("fold not reproducible: %+v vs %+v", a, b)
+	}
+	if a.N() != 6 {
+		t.Fatalf("N=%d, want 6", a.N())
+	}
+	if math.Abs(a.Index()-JainIndex([]float64{1, 2, 3, 4, 5, 6})) > 1e-12 {
+		t.Fatalf("fold index %v far from direct index", a.Index())
+	}
+}
+
+func TestJainAccumulatorEmptyAndZero(t *testing.T) {
+	var a JainAccumulator
+	if a.Index() != 0 {
+		t.Fatalf("empty accumulator index %v, want 0", a.Index())
+	}
+	a.Add(0)
+	a.Add(0)
+	if a.Index() != 0 {
+		t.Fatalf("all-zero index %v, want 0", a.Index())
+	}
+	var b JainAccumulator
+	b.Merge(&a) // merging all-zero observations still copies the count
+	if b.N() != 2 {
+		t.Fatalf("merged N=%d, want 2", b.N())
+	}
+	var empty JainAccumulator
+	a.Merge(&empty) // merging an empty accumulator is a no-op
+	if a.N() != 2 {
+		t.Fatalf("N after empty merge %d, want 2", a.N())
+	}
+}

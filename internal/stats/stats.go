@@ -204,6 +204,58 @@ func JainIndex(xs []float64) float64 {
 	return sum * sum / (float64(len(xs)) * sumSq)
 }
 
+// JainAccumulator accumulates the sufficient statistics of Jain's fairness
+// index (count, sum, sum of squares) so the index can be folded across
+// shards: each shard Adds its observations in ascending user order, and the
+// per-shard accumulators are Merged in ascending shard order after the
+// join. Merging into a zero accumulator copies the operand exactly, so a
+// single-shard fold reproduces JainIndex bit for bit. The zero value is
+// ready to use.
+type JainAccumulator struct {
+	n     int
+	sum   float64
+	sumSq float64
+}
+
+// Add incorporates one observation.
+func (a *JainAccumulator) Add(x float64) {
+	a.n++
+	a.sum += x
+	a.sumSq += x * x
+}
+
+// Merge combines another accumulator into a. Fold accumulators in ascending
+// shard order for deterministic results.
+func (a *JainAccumulator) Merge(o *JainAccumulator) {
+	if o.n == 0 {
+		return
+	}
+	if a.n == 0 {
+		*a = *o
+		return
+	}
+	a.n += o.n
+	a.sum += o.sum
+	a.sumSq += o.sumSq
+}
+
+// N returns the number of observations.
+func (a *JainAccumulator) N() int { return a.n }
+
+// Index returns Jain's fairness index of the accumulated observations,
+// with the same conventions as JainIndex (0 for no data or an all-zero
+// vector) and the identical final arithmetic, so a fold over a single
+// shard is bitwise-equal to the direct computation.
+func (a *JainAccumulator) Index() float64 {
+	if a.n == 0 {
+		return 0
+	}
+	if a.sumSq == 0 {
+		return 0
+	}
+	return a.sum * a.sum / (float64(a.n) * a.sumSq)
+}
+
 // Percentile returns the p-quantile (0 <= p <= 1) of xs by linear
 // interpolation between order statistics.
 func Percentile(xs []float64, p float64) (float64, error) {

@@ -1,0 +1,92 @@
+package femtocr_test
+
+import (
+	"reflect"
+	"testing"
+
+	"femtocr"
+)
+
+// TestDeprecatedConstructorsWrapNewNetwork pins the facade redesign: the
+// legacy constructors must build byte-identical networks to the NewNetwork
+// specs they now wrap.
+func TestDeprecatedConstructorsWrapNewNetwork(t *testing.T) {
+	cfg := femtocr.DefaultConfig()
+
+	oldSingle, err := femtocr.SingleFBSNetwork(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	newSingle, err := femtocr.NewNetwork(cfg, femtocr.PaperSingleSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(oldSingle, newSingle) {
+		t.Fatal("SingleFBSNetwork differs from NewNetwork(PaperSingleSpec)")
+	}
+
+	oldPath, err := femtocr.InterferingNetwork(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	newPath, err := femtocr.NewNetwork(cfg, femtocr.PaperInterferingSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(oldPath, newPath) {
+		t.Fatal("InterferingNetwork differs from NewNetwork(PaperInterferingSpec)")
+	}
+
+	seqs := femtocr.Sequences()
+	groups := [][]femtocr.Sequence{seqs[:2], seqs[2:4]}
+	oldNon, err := femtocr.NonInterferingNetwork(cfg, groups)
+	if err != nil {
+		t.Fatal(err)
+	}
+	newNon, err := femtocr.NewNetwork(cfg, femtocr.NonInterferingSpec(groups))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(oldNon, newNon) {
+		t.Fatal("NonInterferingNetwork differs from NewNetwork(NonInterferingSpec)")
+	}
+}
+
+// TestFacadeMetroSharded exercises the metro path end to end through the
+// facade: generate a city, run the sharded engine, and check the
+// decomposition and determinism contracts.
+func TestFacadeMetroSharded(t *testing.T) {
+	cfg := femtocr.DefaultConfig()
+	net, err := femtocr.NewNetwork(cfg, femtocr.MetroGridSpec(2, 2, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := femtocr.SimOptions{Seed: 7, GOPs: 2,
+		Parallel: femtocr.Parallelism{Workers: 4}}
+	res, err := femtocr.SimulateSharded(net, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Shards != 4 || res.FBSs != 12 || res.Users != 24 {
+		t.Fatalf("decomposition: shards=%d FBSs=%d users=%d, want 4/12/24", res.Shards, res.FBSs, res.Users)
+	}
+	if res.MeanPSNR <= 0 || res.MinUserPSNR <= 0 {
+		t.Fatalf("degenerate quality: mean=%v min=%v", res.MeanPSNR, res.MinUserPSNR)
+	}
+	if res.Timing == nil || len(res.Timing.TaskNS) != res.Groups || res.Timing.IdealSpeedup() <= 0 {
+		t.Fatalf("missing per-task ns accounting: %+v", res.Timing)
+	}
+
+	// Different worker/shard settings must not change anything but Timing.
+	opts2 := opts
+	opts2.Parallel = femtocr.Parallelism{Workers: 1, Shards: 2}
+	res2, err := femtocr.SimulateSharded(net, opts2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.Timing, res2.Timing = nil, nil
+	res.Groups, res2.Groups = 0, 0
+	if !reflect.DeepEqual(res, res2) {
+		t.Fatal("sharded result depends on the Parallelism setting")
+	}
+}

@@ -17,6 +17,8 @@
 #                     under the race detector (named explicitly so a test
 #                     rename can't silently drop the gate)
 #   7. go test -race — all tests under the race detector
+#   8. metro smoke   — a quick-scale generated metro through the sharded
+#                     engine end to end (femtosim -scenario metro)
 #
 # Both -race steps run with GOMAXPROCS=4: the CI container exposes a single
 # CPU (see the 1-CPU caveat the bench scripts record in BENCH_*.json), and
@@ -61,6 +63,10 @@ GOMAXPROCS=4 go test -race -run '^(TestParallelDeterminism|TestTopologyStudyDete
 echo "==> go test -race"
 echo "    GOMAXPROCS=4 (forced: 1-CPU runners don't interleave goroutines)"
 GOMAXPROCS=4 go test -race ./...
+
+echo "==> metro smoke (sharded engine end to end through femtosim)"
+go run ./cmd/femtosim -scenario metro -metro-fbs 24 -metro-users 2 \
+    -gops 1 -shards 4 >/dev/null
 
 if [ -n "${FEMTOCR_FUZZ:-}" ]; then
     echo "==> fuzz smoke (FEMTOCR_FUZZ set)"
