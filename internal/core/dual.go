@@ -204,10 +204,12 @@ func (d *DualSolver) solveInto(in *Instance, out *Allocation, report *DualReport
 			i := in.FBS[j]
 			l0 := math.Max(lambda[0], d.lambdaMin)
 			l1 := math.Max(lambda[i], d.lambdaMin)
-			if ws.u0[j].branchValueLog(l0, ws.logW[j]) > ws.u1[j].branchValueLog(l1, ws.logW[j]) {
-				sums[0] += ws.u0[j].rhoAt(l0)
+			bv0, rho0 := ws.u0[j].branchAndRhoWR(l0, ws.logW[j], ws.wr0[j], ws.bl0[j])
+			bv1, rho1 := ws.u1[j].branchAndRhoWR(l1, ws.logW[j], ws.wr1[j], ws.bl1[j])
+			if bv0 > bv1 {
+				sums[0] += rho0
 			} else {
-				sums[i] += ws.u1[j].rhoAt(l1)
+				sums[i] += rho1
 			}
 		}
 
@@ -282,14 +284,26 @@ func (d *DualSolver) repair(in *Instance, alloc *Allocation, lambda []float64, w
 // left by a truncated dual iteration; at most maxRounds passes over the
 // users. The workspace must have prepareUsers already applied for this
 // instance (it supplies the water-filling views and cached log(W) terms).
+//
+// A rejected flip restores the snapshotted shares instead of re-running the
+// two water-fills: the fills are deterministic functions of the (restored)
+// association, and the invariant that the current shares always equal the
+// fills' output for the current association makes the copy byte-identical
+// to the recomputation — at half the cost, since most flips are rejected.
 func polishAssociation(in *Instance, alloc *Allocation, maxRounds int, ws *solveWorkspace) {
 	k := in.K()
 	cur := objectiveCached(in, alloc, ws.logW)
+	save0 := growF(ws.polishRho0, k)
+	ws.polishRho0 = save0
+	save1 := growF(ws.polishRho1, k)
+	ws.polishRho1 = save1
 	for round := 0; round < maxRounds; round++ {
 		improved := false
 		for j := 0; j < k; j++ {
 			// Flipping user j only perturbs the common channel and its own
 			// FBS band; every other resource's water-filling is unchanged.
+			copy(save0, alloc.Rho0)
+			copy(save1, alloc.Rho1)
 			alloc.MBS[j] = !alloc.MBS[j]
 			fillCommon(in, alloc, ws)
 			fillFBS(in, alloc, in.FBS[j], ws)
@@ -298,8 +312,8 @@ func polishAssociation(in *Instance, alloc *Allocation, maxRounds int, ws *solve
 				improved = true
 			} else {
 				alloc.MBS[j] = !alloc.MBS[j]
-				fillCommon(in, alloc, ws)
-				fillFBS(in, alloc, in.FBS[j], ws)
+				copy(alloc.Rho0, save0)
+				copy(alloc.Rho1, save1)
 			}
 		}
 		if !improved {
@@ -318,45 +332,67 @@ func fillResources(in *Instance, alloc *Allocation, ws *solveWorkspace) {
 }
 
 // fillCommon water-fills the common channel among the users associated with
-// the MBS, on workspace scratch.
+// the MBS, on workspace scratch. The effective users are gathered straight
+// into the flat waterfillColumns views, reusing the w/r quotients
+// prepareUsers hoisted; users filtered out here are exactly those the
+// scalar reference zeroed, so their shares are set to zero up front.
 func fillCommon(in *Instance, alloc *Allocation, ws *solveWorkspace) {
 	k := in.K()
-	mbsUsers := ws.wfIdx[:0]
-	wfu := ws.wfUsers[:0]
+	idx := ws.wfIdx[:0]
+	ps := ws.wfPS[:0]
+	wr := ws.wfWR[:0]
+	caps := ws.wfCap[:0]
 	for j := 0; j < k; j++ {
-		if alloc.MBS[j] {
-			mbsUsers = append(mbsUsers, j)
-			wfu = append(wfu, ws.u0[j])
+		if !alloc.MBS[j] {
+			continue
+		}
+		alloc.Rho0[j] = 0
+		alloc.Rho1[j] = 0
+		u := ws.u0[j]
+		if u.ps > 0 && u.r > 0 {
+			idx = append(idx, j)
+			ps = append(ps, u.ps)
+			wr = append(wr, ws.wr0[j])
+			caps = append(caps, u.cap)
 		}
 	}
-	ws.wfIdx, ws.wfUsers = mbsUsers, wfu
-	rho := growF(ws.wfRho, len(wfu))
+	ws.wfIdx, ws.wfPS, ws.wfWR, ws.wfCap = idx, ps, wr, caps
+	rho := growF(ws.wfRho, len(idx))
 	ws.wfRho = rho
-	waterfillInto(rho, wfu, 1)
-	for idx, j := range mbsUsers {
-		alloc.Rho0[j] = rho[idx]
-		alloc.Rho1[j] = 0
+	waterfillColumns(rho, ps, wr, caps, 1)
+	for t, j := range idx {
+		alloc.Rho0[j] = rho[t]
 	}
 }
 
 // fillFBS water-fills FBS i's licensed band among its associated users, on
-// workspace scratch.
+// workspace scratch, gathering the effective users into the flat
+// waterfillColumns views like fillCommon.
 func fillFBS(in *Instance, alloc *Allocation, i int, ws *solveWorkspace) {
 	k := in.K()
-	users := ws.wfIdx[:0]
-	fu := ws.wfUsers[:0]
+	idx := ws.wfIdx[:0]
+	ps := ws.wfPS[:0]
+	wr := ws.wfWR[:0]
+	caps := ws.wfCap[:0]
 	for j := 0; j < k; j++ {
-		if !alloc.MBS[j] && in.FBS[j] == i {
-			users = append(users, j)
-			fu = append(fu, ws.u1[j])
+		if alloc.MBS[j] || in.FBS[j] != i {
+			continue
+		}
+		alloc.Rho0[j] = 0
+		alloc.Rho1[j] = 0
+		u := ws.u1[j]
+		if u.ps > 0 && u.r > 0 {
+			idx = append(idx, j)
+			ps = append(ps, u.ps)
+			wr = append(wr, ws.wr1[j])
+			caps = append(caps, u.cap)
 		}
 	}
-	ws.wfIdx, ws.wfUsers = users, fu
-	rhoI := growF(ws.wfRho, len(fu))
+	ws.wfIdx, ws.wfPS, ws.wfWR, ws.wfCap = idx, ps, wr, caps
+	rhoI := growF(ws.wfRho, len(idx))
 	ws.wfRho = rhoI
-	waterfillInto(rhoI, fu, 1)
-	for idx, j := range users {
-		alloc.Rho1[j] = rhoI[idx]
-		alloc.Rho0[j] = 0
+	waterfillColumns(rhoI, ps, wr, caps, 1)
+	for t, j := range idx {
+		alloc.Rho1[j] = rhoI[t]
 	}
 }

@@ -126,16 +126,32 @@ func (e *EquilibriumSolver) SolveInto(in *Instance, out *Allocation) error {
 }
 
 func (e *EquilibriumSolver) solveInto(in *Instance, alloc *Allocation) error {
+	ws := getWorkspace()
+	defer putWorkspace(ws)
+	// A pooled workspace may carry another instance's equilibrium memo;
+	// start a fresh epoch so no stale entry can hit.
+	ws.bumpEqEpoch()
+	return e.solveIntoWS(in, alloc, ws)
+}
+
+// solveIntoWS is solveInto on a caller-held workspace. The greedy channel
+// allocator calls it directly with its own workspace so the per-FBS
+// equilibrium memo survives across its many Q evaluations of the same base
+// instance; the caller is responsible for bumpEqEpoch whenever the base
+// instance (anything but G) changes.
+//
+//femtovet:hotpath
+//femtovet:borrows in, alloc, ws
+func (e *EquilibriumSolver) solveIntoWS(in *Instance, alloc *Allocation, ws *solveWorkspace) error {
 	iters := e.Iters
 	if iters == 0 {
 		iters = 45
 	}
 	k := in.K()
 
-	ws := getWorkspace()
-	defer putWorkspace(ws)
 	ws.prepareUsers(in)
 	u0, u1, logW := ws.u0, ws.u1, ws.logW
+	wr0, wr1 := ws.wr0, ws.wr1
 	sum0PS := 0.0
 	for j := 0; j < k; j++ {
 		if in.R0[j] > 0 {
@@ -148,59 +164,105 @@ func (e *EquilibriumSolver) solveInto(in *Instance, alloc *Allocation) error {
 
 	// equilibriumFBS returns the price of FBS i's band clearing its unit
 	// budget given the common-channel price, along with each member's
-	// choice. Demand is non-increasing in the band price: shares shrink and
-	// users defect to the MBS as it rises. The MBS branch values depend
-	// only on l0, so they are computed once per call.
-	ws.v0 = growF(ws.v0, k)
-	v0 := ws.v0
-	equilibriumFBS := func(i int, l0 float64) float64 {
+	// final choice as a bitmask (bit b set = member b prefers the MBS at
+	// the returned price). Demand is non-increasing in the band price:
+	// shares shrink and users defect to the MBS as it rises. The MBS
+	// branch values depend only on l0, so they are computed once per call.
+	//
+	// The (price, mask) pair is a pure function of (i, l0, G_i) for a fixed
+	// base instance, so results are memoized in the workspace: the greedy
+	// allocator's Q evaluations perturb G at a single FBS per candidate,
+	// leaving every other FBS's inner bisection — the dominant cost of the
+	// solve — to be answered from the memo. Demand totals are only ever
+	// compared against the unit budget, so the accumulation loops exit as
+	// soon as the (nonnegative) partial sum crosses it: the remaining terms
+	// cannot bring it back, making the early exit decision-identical.
+	equilibriumFBS := func(i int, l0 float64) (float64, uint64) {
 		members := byFBS[i]
-		for _, j := range members {
-			v0[j] = u0[j].branchValueLog(l0, logW[j])
+		gi := in.G[i-1]
+		memoable := len(members) <= 64
+		if memoable {
+			if li, mask, ok := ws.eqMemoGet(i, l0, gi); ok {
+				return li, mask
+			}
+		}
+		// Gather the members' columns once per miss: the ~2*iters demand
+		// probes below then walk contiguous copies instead of chasing
+		// member indices through the per-user columns. Same values, same
+		// member order, same operations — bit-identical.
+		m := len(members)
+		ws.gU = growU(ws.gU, m)
+		ws.gLogW = growF(ws.gLogW, m)
+		ws.gWR = growF(ws.gWR, m)
+		ws.gBL = growF(ws.gBL, m)
+		ws.gV0 = growF(ws.gV0, m)
+		gU, gLogW, gWR, gBL, gV0 := ws.gU, ws.gLogW, ws.gWR, ws.gBL, ws.gV0
+		for b, j := range members {
+			gU[b] = u1[j]
+			gLogW[b] = logW[j]
+			gWR[b] = wr1[j]
+			gBL[b] = ws.bl1[j]
+			gV0[b], _ = u0[j].branchAndRhoWR(l0, logW[j], wr0[j], ws.bl0[j])
 		}
 		demand := func(li float64) float64 {
 			total := 0.0
-			for _, j := range members {
-				if u1[j].branchValueLog(li, logW[j]) >= v0[j] {
-					total += u1[j].rhoAt(li)
+			for b := range gU {
+				bv, rho := gU[b].branchAndRhoWR(li, gLogW[b], gWR[b], gBL[b])
+				if bv >= gV0[b] {
+					total += rho
+					if total > 1 {
+						return total
+					}
 				}
 			}
 			return total
 		}
-		lo := lambdaFloor
-		if demand(lo) <= 1 {
-			return lo
-		}
-		hi := 0.0
-		for _, j := range members {
-			hi += u1[j].ps
-		}
-		if hi <= lo {
-			return lo
-		}
-		for demand(hi) > 1 {
-			hi *= 2
-		}
-		for it := 0; it < iters; it++ {
-			mid := 0.5 * (lo + hi)
-			if demand(mid) > 1 {
-				lo = mid
-			} else {
-				hi = mid
+		li := lambdaFloor
+		if demand(li) > 1 {
+			hi := 0.0
+			for b := range gU {
+				hi += gU[b].ps
+			}
+			if hi > li {
+				for demand(hi) > 1 {
+					hi *= 2
+				}
+				lo := li
+				for it := 0; it < iters; it++ {
+					mid := 0.5 * (lo + hi)
+					if demand(mid) > 1 {
+						lo = mid
+					} else {
+						hi = mid
+					}
+				}
+				li = hi
 			}
 		}
-		return hi
+		var mask uint64
+		for b := range gU {
+			bv, _ := gU[b].branchAndRhoWR(li, gLogW[b], gWR[b], gBL[b])
+			if gV0[b] > bv {
+				mask |= 1 << uint(b)
+			}
+		}
+		if memoable {
+			ws.eqMemoPut(i, l0, gi, li, mask)
+		}
+		return li, mask
 	}
 
 	// Outer bisection on lambda_0: MBS demand is non-increasing in it.
-	// equilibriumFBS leaves v0 populated for the current l0.
 	demand0 := func(l0 float64) float64 {
 		total := 0.0
 		for i := 1; i <= in.N(); i++ {
-			li := equilibriumFBS(i, l0)
-			for _, j := range byFBS[i] {
-				if v0[j] > u1[j].branchValueLog(li, logW[j]) {
-					total += u0[j].rhoAt(l0)
+			_, mask := equilibriumFBS(i, l0)
+			for b, j := range byFBS[i] {
+				if mask&(1<<uint(b)) != 0 {
+					total += u0[j].rhoAtWR(l0, wr0[j])
+					if total > 1 {
+						return total
+					}
 				}
 			}
 		}
@@ -231,9 +293,9 @@ func (e *EquilibriumSolver) solveInto(in *Instance, alloc *Allocation) error {
 	// Fix the association at the equilibrium prices, then water-fill.
 	alloc.resize(k)
 	for i := 1; i <= in.N(); i++ {
-		li := equilibriumFBS(i, l0)
-		for _, j := range byFBS[i] {
-			alloc.MBS[j] = v0[j] > u1[j].branchValueLog(li, logW[j])
+		_, mask := equilibriumFBS(i, l0)
+		for b, j := range byFBS[i] {
+			alloc.MBS[j] = mask&(1<<uint(b)) != 0
 		}
 	}
 	fillResources(in, alloc, ws)

@@ -144,9 +144,11 @@ type greedyRun struct {
 	p          *ChannelProblem
 	nCh        int
 	ws         *solveWorkspace
-	alive      []bool // candidate liveness, indexed by pairIdx
+	eq         *EquilibriumSolver // non-nil: Q solves share ws (equilibrium memo)
+	alive      []bool             // candidate liveness, indexed by pairIdx
 	aliveCount int
 	cur        float64 // Q of the current partial allocation
+	round      int     // allocation rounds completed (gain-cache tag)
 	res        *GreedyResult
 	slack      boundSlack
 }
@@ -178,8 +180,12 @@ func (g *GreedyAllocator) Allocate(p *ChannelProblem) (*GreedyResult, error) {
 	// The cached log(W) terms depend only on Base.W, which every Q
 	// evaluation shares regardless of its trial G vector.
 	ws.prepareUsers(p.Base)
+	// Equilibrium Q solves run on this same workspace so their per-FBS
+	// memo persists across evaluations; one epoch per base instance.
+	ws.bumpEqEpoch()
 
 	r := &greedyRun{p: p, nCh: len(p.Channels), ws: ws, res: res}
+	r.eq, _ = g.solver.(*EquilibriumSolver)
 	nPairs := n * r.nCh
 	r.alive = growB(ws.alive, nPairs)
 	ws.alive = r.alive
@@ -187,6 +193,11 @@ func (g *GreedyAllocator) Allocate(p *ChannelProblem) (*GreedyResult, error) {
 		r.alive[i] = true
 	}
 	r.aliveCount = nPairs
+	ws.gains = growF(ws.gains, nPairs)
+	ws.gainRound = growI(ws.gainRound, nPairs)
+	for i := range ws.gainRound {
+		ws.gainRound[i] = -1
+	}
 
 	var err error
 	if r.cur, err = g.q(r, res.G); err != nil {
@@ -214,7 +225,9 @@ func (g *GreedyAllocator) Allocate(p *ChannelProblem) (*GreedyResult, error) {
 	inst := &ws.qInstance
 	*inst = *p.Base
 	inst.G = res.G
-	if is, ok := g.solver.(IntoSolver); ok {
+	if r.eq != nil {
+		err = r.eq.solveIntoWS(inst, final, ws)
+	} else if is, ok := g.solver.(IntoSolver); ok {
 		err = is.SolveInto(inst, final)
 	} else {
 		final, err = g.solver.Solve(inst)
@@ -229,12 +242,20 @@ func (g *GreedyAllocator) Allocate(p *ChannelProblem) (*GreedyResult, error) {
 
 // q evaluates the user problem Q(c) for an expected-channel vector, solving
 // into workspace scratch. gvec may alias workspace memory; it is only read
-// during the solve.
+// during the solve. The default equilibrium solver runs directly on the
+// run's workspace — already validated and epoch-bumped by Allocate — so its
+// per-FBS memo carries over between evaluations.
 func (g *GreedyAllocator) q(r *greedyRun, gvec []float64) (float64, error) {
 	r.res.Evaluations++
 	inst := &r.ws.qInstance
 	*inst = *r.p.Base
 	inst.G = gvec
+	if r.eq != nil {
+		if err := r.eq.solveIntoWS(inst, &r.ws.qAlloc, r.ws); err != nil {
+			return 0, err
+		}
+		return objectiveCached(inst, &r.ws.qAlloc, r.ws.logW), nil
+	}
 	if is, ok := g.solver.(IntoSolver); ok {
 		if err := is.SolveInto(inst, &r.ws.qAlloc); err != nil {
 			return 0, err
@@ -249,7 +270,10 @@ func (g *GreedyAllocator) q(r *greedyRun, gvec []float64) (float64, error) {
 }
 
 // gainOf returns the marginal gain of allocating candidate idx on top of the
-// current partial allocation, on the workspace trial buffer.
+// current partial allocation, on the workspace trial buffer, and records it
+// in the round-tagged gain cache: the partial allocation (and therefore the
+// gain) only changes when a pair is accepted, so a gain computed earlier in
+// the same round is the exact float a recomputation would produce.
 func (g *GreedyAllocator) gainOf(r *greedyRun, idx int) (float64, error) {
 	trial := growF(r.ws.trial, len(r.res.G))
 	r.ws.trial = trial
@@ -259,7 +283,18 @@ func (g *GreedyAllocator) gainOf(r *greedyRun, idx int) (float64, error) {
 	if err != nil {
 		return 0, err
 	}
-	return v - r.cur, nil
+	gain := v - r.cur
+	r.ws.gains[idx] = gain
+	r.ws.gainRound[idx] = r.round
+	return gain, nil
+}
+
+// cachedGainOf is gainOf short-circuited by the same-round cache.
+func (g *GreedyAllocator) cachedGainOf(r *greedyRun, idx int) (float64, error) {
+	if r.ws.gainRound[idx] == r.round {
+		return r.ws.gains[idx], nil
+	}
+	return g.gainOf(r, idx)
 }
 
 // boundSlack accumulates the degree-weighted gain sums of the two eq. (23)
@@ -270,12 +305,14 @@ type boundSlack struct {
 }
 
 // take applies a chosen pair: update state, record the step, and remove the
-// pair plus its interference conflicts from the candidate set. liveGain
-// returns the current marginal gain of a still-live conflicting pair; by
-// Lemma 6 it never exceeds the chosen gain, and summing the actual values
-// instead of Delta_l tightens the eq. (23) bound further.
-func (g *GreedyAllocator) take(r *greedyRun, best int, gain float64,
-	liveGain func(int) (float64, error)) error {
+// pair plus its interference conflicts from the candidate set. The eq. (23)
+// bound terms use the current marginal gain of each still-live conflicting
+// pair, served from the same-round gain cache when the pair was already
+// evaluated this round (the cached float is exactly what a recomputation
+// against the unchanged partial allocation would return); by Lemma 6 the
+// live gain never exceeds the chosen gain, and summing the actual values
+// instead of Delta_l tightens the bound further.
+func (g *GreedyAllocator) take(r *greedyRun, best int, gain float64) error {
 	fbs, chIdx := best/r.nCh, best%r.nCh
 	deg := r.p.Graph.Degree(fbs)
 	live := 0
@@ -285,7 +322,7 @@ func (g *GreedyAllocator) take(r *greedyRun, best int, gain float64,
 			continue
 		}
 		live++
-		lg, err := liveGain(idx)
+		lg, err := g.cachedGainOf(r, idx)
 		if err != nil {
 			return err
 		}
@@ -311,6 +348,7 @@ func (g *GreedyAllocator) take(r *greedyRun, best int, gain float64,
 	for _, nb := range r.p.Graph.Neighbors(fbs) {
 		r.kill(nb*r.nCh + chIdx)
 	}
+	r.round++ // the partial allocation changed: cached gains are now stale
 	return nil
 }
 
@@ -327,8 +365,6 @@ func (r *greedyRun) kill(idx int) {
 // ascending pairIdx order, the same deterministic (fbs, chIdx) order the
 // sorted map keys used to give.
 func (g *GreedyAllocator) runEager(r *greedyRun) error {
-	gains := growF(r.ws.gains, len(r.alive))
-	r.ws.gains = gains
 	for r.aliveCount > 0 {
 		bestGain := math.Inf(-1)
 		best := -1
@@ -340,14 +376,12 @@ func (g *GreedyAllocator) runEager(r *greedyRun) error {
 			if err != nil {
 				return err
 			}
-			gains[idx] = gain
 			if gain > bestGain {
 				bestGain = gain
 				best = idx
 			}
 		}
-		lookup := func(idx int) (float64, error) { return gains[idx], nil }
-		if err := g.take(r, best, bestGain, lookup); err != nil {
+		if err := g.take(r, best, bestGain); err != nil {
 			return err
 		}
 	}
@@ -403,25 +437,22 @@ func (g *GreedyAllocator) runLazy(r *greedyRun) error {
 		push(lazyEntry{idx: idx, gain: gain, round: 0})
 	}
 
-	round := 0
-	gainOf := func(idx int) (float64, error) { return g.gainOf(r, idx) }
 	for len(heap) > 0 {
 		top := pop()
 		if !r.alive[top.idx] {
 			continue // removed by an interference conflict
 		}
-		if top.round != round {
+		if top.round != r.round {
 			gain, err := g.gainOf(r, top.idx)
 			if err != nil {
 				return err
 			}
-			push(lazyEntry{idx: top.idx, gain: gain, round: round})
+			push(lazyEntry{idx: top.idx, gain: gain, round: r.round})
 			continue
 		}
-		if err := g.take(r, top.idx, top.gain, gainOf); err != nil {
+		if err := g.take(r, top.idx, top.gain); err != nil {
 			return err
 		}
-		round++
 	}
 	return nil
 }

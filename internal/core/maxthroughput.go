@@ -110,19 +110,36 @@ func fillLinear(in *Instance, alloc *Allocation, ws *solveWorkspace) {
 			rates[j] = in.PS1[j] * in.effR1(j)
 		}
 	}
-	sortByKeyDesc(groups[0], rates)
 	fillGroup(in, alloc, groups[0], rates, true)
 	for i := 1; i <= n; i++ {
-		sortByKeyDesc(groups[i], rates)
 		fillGroup(in, alloc, groups[i], rates, false)
 	}
 }
 
-// fillGroup pours the unit budget over the pre-sorted users of one resource.
+// fillGroup pours the unit budget over one resource's users, selecting the
+// next-best user on demand instead of pre-sorting the whole group: the fill
+// usually exhausts the budget after one or two users, so the quadratic sort
+// the association-polish loop re-ran on every flip collapses to a couple of
+// linear scans. Selection by (rate descending, index ascending) is a strict
+// total order and reproduces the unique sequence the previous stable
+// descending sort presented — ties included — so the shares are
+// bit-identical.
 func fillGroup(in *Instance, alloc *Allocation, order []int, rates []float64, mbs bool) {
 	budget := 1.0
-	for _, j := range order {
-		if budget <= 0 || rates[j] <= 0 {
+	for t := 0; t < len(order); t++ {
+		if budget <= 0 {
+			break
+		}
+		best := t
+		for s := t + 1; s < len(order); s++ {
+			if cand, cur := order[s], order[best]; rates[cand] > rates[cur] ||
+				(rates[cand] == rates[cur] && cand < cur) { //femtovet:ignore floateq -- exact tie-break reproduces the former stable sort's order bitwise
+				best = s
+			}
+		}
+		order[t], order[best] = order[best], order[t]
+		j := order[t]
+		if rates[j] <= 0 {
 			break
 		}
 		share := budget
@@ -141,20 +158,5 @@ func fillGroup(in *Instance, alloc *Allocation, order []int, rates []float64, mb
 			alloc.Rho1[j] = share
 		}
 		budget -= share
-	}
-}
-
-// sortByKeyDesc stable-sorts the index slice by decreasing key, in place and
-// allocation-free. Insertion sort is stable, so ties keep their ascending
-// index order — the exact ordering the previous sort.SliceStable produced.
-func sortByKeyDesc(order []int, key []float64) {
-	for i := 1; i < len(order); i++ {
-		j := order[i]
-		p := i - 1
-		for p >= 0 && key[order[p]] < key[j] {
-			order[p+1] = order[p]
-			p--
-		}
-		order[p+1] = j
 	}
 }

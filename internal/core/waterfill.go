@@ -47,12 +47,56 @@ func (u waterfillUser) branchValue(lambda float64) float64 {
 // computed math.Log(w + 0*r) = log(w), the exact value cached here, and
 // when rho is nonzero the same math.Log call runs on the same argument.
 func (u waterfillUser) branchValueLog(lambda, logW float64) float64 {
+	bv, _ := u.branchAndRho(lambda, logW)
+	return bv
+}
+
+// branchAndRho returns branchValueLog together with the optimal share it
+// was evaluated at. The demand loops of every solver previously computed
+// the share twice — once inside the branch value, once to accumulate the
+// demand total — and fusing the two halves the rhoAt cost of the inner
+// bisections with bit-identical results (same call, same argument).
+func (u waterfillUser) branchAndRho(lambda, logW float64) (float64, float64) {
 	rho := u.rhoAt(lambda)
 	logWG := logW
 	if rho != 0 {
 		logWG = math.Log(u.w + rho*u.r)
 	}
-	return u.ps*logWG + (1-u.ps)*logW - lambda*rho
+	return u.ps*logWG + (1-u.ps)*logW - lambda*rho, rho
+}
+
+// rhoAtWR is rhoAt with the w/r ratio hoisted out by the caller: wr must be
+// the exact quotient u.w/u.r (prepareUsers performs that division once per
+// solve), making the result bit-identical while dropping one division from
+// every price probe of the bisections.
+func (u waterfillUser) rhoAtWR(lambda, wr float64) float64 {
+	if u.r <= 0 || u.ps <= 0 {
+		return 0
+	}
+	rho := u.ps/lambda - wr
+	if rho < 0 {
+		return 0
+	}
+	if u.cap >= 0 && rho > u.cap {
+		return u.cap
+	}
+	return rho
+}
+
+// branchAndRhoWR is branchAndRho with two caller-hoisted terms: wr is the
+// exact w/r quotient and bl the exact value of ps*logW + (1-ps)*logW
+// (prepareUsers computes both once per solve with the same operations).
+// When the share is zero the full expression collapses to bl - lambda*0;
+// IEEE subtraction of a positive zero returns the other operand bit for
+// bit, so returning bl directly is bitwise-identical to the long form while
+// skipping two multiplies and two adds on the price-too-high path the
+// bisections spend most probes in.
+func (u waterfillUser) branchAndRhoWR(lambda, logW, wr, bl float64) (float64, float64) {
+	rho := u.rhoAtWR(lambda, wr)
+	if rho == 0 {
+		return bl, 0
+	}
+	return u.ps*math.Log(u.w+rho*u.r) + (1-u.ps)*logW - lambda*rho, rho
 }
 
 // waterfill maximizes sum_j ps_j*log(w_j + rho_j*r_j) subject to
@@ -68,8 +112,10 @@ func waterfill(users []waterfillUser, budget float64) ([]float64, float64) {
 
 // waterfillInto is waterfill writing the shares into the caller-owned rho
 // buffer (len(rho) must equal len(users)), returning the supporting price.
-// The hot path calls it with workspace scratch so the per-slot solves stay
-// allocation-free.
+// It is the retained scalar reference implementation: the hot path now runs
+// waterfillColumns over flat effective-user columns (see fillCommon and
+// fillFBS), and the property tests in waterfill_prop_test.go pin the two
+// bit-identical on random and degenerate instances.
 //
 //femtovet:hotpath
 //femtovet:borrows rho, users
@@ -147,6 +193,118 @@ func waterfillInto(rho []float64, users []waterfillUser, budget float64) float64
 				scaled = c
 			}
 			rho[j] = scaled
+		}
+	}
+	return lambda
+}
+
+// waterfillColumns is waterfillInto restructured over flat float64 columns
+// holding only the effective users (ps > 0 and r > 0): ps, wr (the hoisted
+// w/r quotient) and caps are parallel to rho, and the caller maps the
+// resulting shares back to user indices while zeroing everyone it filtered
+// out. The contiguous branch-light demand loop replaces the per-user struct
+// walk with its method calls and effectiveness re-checks on every price
+// probe — the shape the bisection spends its time in.
+//
+// Outputs are bit-identical to the scalar reference: every retained user
+// contributes the exact ps/lambda - w/r clamp sequence of rhoAt in the same
+// ascending order (wr is the same quotient, divided once), users filtered
+// out contributed an exact 0.0 the nonnegative partial sums never depended
+// on, and demand totals are only ever compared against the budget, so the
+// accumulation can exit as soon as the partial sum crosses it — the
+// remaining nonnegative terms cannot bring it back below.
+//
+//femtovet:hotpath
+//femtovet:borrows rho, ps, wr, caps
+func waterfillColumns(rho, ps, wr, caps []float64, budget float64) float64 {
+	ne := len(ps)
+	for i := range rho {
+		rho[i] = 0
+	}
+	if budget <= 0 || ne == 0 {
+		return 0
+	}
+	wr = wr[:ne]
+	caps = caps[:ne]
+	rho = rho[:ne]
+	sumPS := 0.0
+	for _, p := range ps {
+		sumPS += p
+	}
+	demand := func(lambda float64) float64 {
+		total := 0.0
+		for i, p := range ps {
+			r := p/lambda - wr[i]
+			if r < 0 {
+				r = 0
+			} else if c := caps[i]; c >= 0 && r > c {
+				r = c
+			}
+			total += r
+			if total > budget {
+				return total
+			}
+		}
+		return total
+	}
+
+	// Price upper bound: at lambda = sum(ps)/budget every rho <= ps/lambda,
+	// so total demand <= budget.
+	hi := sumPS / budget
+	if demand(hi) > budget {
+		// Guard against rounding; expand until demand fits.
+		for i := 0; i < 64 && demand(hi) > budget; i++ {
+			hi *= 2
+		}
+	}
+	// Mirror of the scalar reference's defensive slack check.
+	const tiny = 1e-18
+	lo := tiny
+	if demand(lo) <= budget {
+		for i, p := range ps {
+			r := p/lo - wr[i]
+			if r < 0 {
+				r = 0
+			} else if c := caps[i]; c >= 0 && r > c {
+				r = c
+			}
+			rho[i] = r
+		}
+		return 0
+	}
+	for iter := 0; iter < 100; iter++ {
+		mid := 0.5 * (lo + hi)
+		if demand(mid) > budget {
+			lo = mid
+		} else {
+			hi = mid
+		}
+		if hi-lo <= 1e-12*hi {
+			break
+		}
+	}
+	lambda := hi // feasible side
+	total := 0.0
+	for i, p := range ps {
+		r := p/lambda - wr[i]
+		if r < 0 {
+			r = 0
+		} else if c := caps[i]; c >= 0 && r > c {
+			r = c
+		}
+		rho[i] = r
+		total += r
+	}
+	// Distribute any residual slack caused by tolerance to keep the budget
+	// exactly saturated, without pushing anyone past their demand ceiling.
+	if total > 0 && total < budget {
+		scale := budget / total
+		for i := range rho {
+			scaled := rho[i] * scale
+			if c := caps[i]; c >= 0 && scaled > c {
+				scaled = c
+			}
+			rho[i] = scaled
 		}
 	}
 	return lambda

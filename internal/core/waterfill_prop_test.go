@@ -1,0 +1,137 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"femtocr/internal/rng"
+)
+
+// columnsOf gathers the effective users (ps > 0, r > 0) of a scalar
+// instance into the flat columns waterfillColumns consumes — the same
+// gather fillCommon and fillFBS perform — returning the column arrays and
+// the original index of each retained user.
+func columnsOf(users []waterfillUser) (idx []int, ps, wr, caps []float64) {
+	for j, u := range users {
+		if u.ps > 0 && u.r > 0 {
+			idx = append(idx, j)
+			ps = append(ps, u.ps)
+			wr = append(wr, u.w/u.r)
+			caps = append(caps, u.cap)
+		}
+	}
+	return idx, ps, wr, caps
+}
+
+// checkColumnsMatchScalar runs both water-filling implementations on the
+// same instance and demands bitwise agreement: the supporting price and
+// every per-user share, including the exact zeros of filtered-out users.
+func checkColumnsMatchScalar(t *testing.T, label string, users []waterfillUser, budget float64) {
+	t.Helper()
+	refRho := make([]float64, len(users))
+	refLambda := waterfillInto(refRho, users, budget)
+
+	idx, ps, wr, caps := columnsOf(users)
+	colRho := make([]float64, len(idx))
+	colLambda := waterfillColumns(colRho, ps, wr, caps, budget)
+
+	if math.Float64bits(colLambda) != math.Float64bits(refLambda) {
+		t.Fatalf("%s: lambda %x (columns) vs %x (scalar)", label, colLambda, refLambda)
+	}
+	scattered := make([]float64, len(users))
+	for t2, j := range idx {
+		scattered[j] = colRho[t2]
+	}
+	for j := range users {
+		if math.Float64bits(scattered[j]) != math.Float64bits(refRho[j]) {
+			t.Fatalf("%s: rho[%d] = %x (columns) vs %x (scalar); users=%+v budget=%v",
+				label, j, scattered[j], refRho[j], users, budget)
+		}
+	}
+}
+
+// TestWaterfillColumnsDegenerate pins the vectorized path to the scalar
+// reference on every boundary shape the solvers actually produce: zero and
+// negative budgets, saturated-at-zero ceilings, no effective users, a
+// single user, and mixtures of effective and inert users.
+func TestWaterfillColumnsDegenerate(t *testing.T) {
+	cases := []struct {
+		name   string
+		users  []waterfillUser
+		budget float64
+	}{
+		{"empty", nil, 1},
+		{"zero budget", []waterfillUser{{ps: 0.9, w: 100, r: 50, cap: -1}}, 0},
+		{"negative budget", []waterfillUser{{ps: 0.9, w: 100, r: 50, cap: -1}}, -1},
+		{"single unbounded user", []waterfillUser{{ps: 0.9, w: 100, r: 50, cap: -1}}, 1},
+		{"single capped user", []waterfillUser{{ps: 0.9, w: 100, r: 50, cap: 0.3}}, 1},
+		{"cap exactly zero", []waterfillUser{{ps: 0.9, w: 100, r: 50, cap: 0}}, 1},
+		{"all ps zero", []waterfillUser{
+			{ps: 0, w: 100, r: 50, cap: -1},
+			{ps: 0, w: 80, r: 20, cap: 0.5},
+		}, 1},
+		{"all r zero", []waterfillUser{
+			{ps: 0.9, w: 100, r: 0, cap: -1},
+			{ps: 0.5, w: 80, r: 0, cap: 0.5},
+		}, 1},
+		{"mixed inert and effective", []waterfillUser{
+			{ps: 0.9, w: 100, r: 50, cap: -1},
+			{ps: 0, w: 80, r: 20, cap: -1},
+			{ps: 0.5, w: 60, r: 0, cap: -1},
+			{ps: 0.7, w: 120, r: 30, cap: 0.2},
+		}, 1},
+		{"all caps zero", []waterfillUser{
+			{ps: 0.9, w: 100, r: 50, cap: 0},
+			{ps: 0.5, w: 80, r: 20, cap: 0},
+		}, 1},
+		{"slack constraint via tiny ps", []waterfillUser{
+			{ps: 1e-17, w: 100, r: 50, cap: 0.1},
+		}, 1},
+	}
+	for _, c := range cases {
+		checkColumnsMatchScalar(t, c.name, c.users, c.budget)
+	}
+}
+
+// TestWaterfillColumnsRandomized fuzzes both paths with the instance
+// distribution the solvers draw from — mixed effective/inert users, a
+// spread of caps including unbounded and zero, budgets spanning scarce to
+// ample — and demands bitwise agreement on every trial.
+func TestWaterfillColumnsRandomized(t *testing.T) {
+	s := rng.New(20260808)
+	for trial := 0; trial < 500; trial++ {
+		k := 1 + int(s.Uint64()%9)
+		users := make([]waterfillUser, k)
+		for j := range users {
+			u := waterfillUser{
+				ps: s.Float64(),
+				w:  20 + 200*s.Float64(),
+				r:  10 + 100*s.Float64(),
+			}
+			switch s.Uint64() % 5 {
+			case 0:
+				u.ps = 0 // inert: no success probability
+			case 1:
+				u.r = 0 // inert: no rate
+			}
+			switch s.Uint64() % 4 {
+			case 0:
+				u.cap = -1 // unbounded
+			case 1:
+				u.cap = 0 // saturated encoding
+			default:
+				u.cap = s.Float64()
+			}
+			users[j] = u
+		}
+		budget := 0.0
+		switch s.Uint64() % 8 {
+		case 0: // zero budget
+		case 1:
+			budget = 3 * s.Float64() // occasionally ample
+		default:
+			budget = 1 // the unit slot budget of the solvers
+		}
+		checkColumnsMatchScalar(t, "random", users, budget)
+	}
+}

@@ -20,10 +20,21 @@ import (
 // workspace memory.
 type solveWorkspace struct {
 	// Per-user water-filling views and the cached log(W_j) terms shared by
-	// every branch-value and objective evaluation of the solve.
-	u0, u1 []waterfillUser
-	logW   []float64
-	v0     []float64 // MBS branch values at the current common price
+	// every branch-value and objective evaluation of the solve. wr0/wr1
+	// hoist the w/r quotient of each view (zero where r <= 0, which rhoAtWR
+	// never reads) so the bisection probes skip one division per call.
+	u0, u1   []waterfillUser
+	logW     []float64
+	wr0, wr1 []float64
+	bl0, bl1 []float64 // zero-share branch values ps*logW + (1-ps)*logW
+
+	// Gathered member columns for one FBS's inner bisection (see
+	// equilibriumFBS): the ~2*iters demand probes of a bisection walk
+	// these contiguous copies instead of chasing member indices through
+	// the per-user columns above. gV0 holds each member's MBS branch
+	// value at the current common price.
+	gU                   []waterfillUser
+	gLogW, gWR, gBL, gV0 []float64
 
 	// User index lists grouped by serving FBS (index 0 unused).
 	byFBS [][]int
@@ -32,19 +43,122 @@ type solveWorkspace struct {
 	scale, sumPS, sumWR []float64
 	lambda, next, sums  []float64
 
-	// Water-filling scratch shared by fillCommon/fillFBS (never nested).
-	wfUsers []waterfillUser
-	wfIdx   []int
-	wfRho   []float64
+	// Water-filling scratch shared by fillCommon/fillFBS (never nested):
+	// the gathered user indices plus the flat effective-user columns
+	// waterfillColumns bisects over.
+	wfIdx             []int
+	wfRho             []float64
+	wfPS, wfWR, wfCap []float64
 
 	// Greedy channel-allocation scratch (see greedy.go). qAlloc doubles as
-	// the brute-force solver's enumeration allocation.
+	// the brute-force solver's enumeration allocation. gainRound tags each
+	// cached candidate gain in gains with the allocation round it was
+	// computed in, so take() can reuse same-round gains exactly.
 	alive     []bool
 	gains     []float64
+	gainRound []int
 	trial     []float64
 	heap      []lazyEntry
 	qAlloc    Allocation
 	qInstance Instance
+
+	// Per-FBS equilibrium memo (see exact.go solveIntoWS): open-addressed
+	// cache of (fbs, lambda_0, G_i) -> (lambda_i, association mask),
+	// epoch-tagged so invalidation on a new base instance is O(1). The
+	// greedy allocator holds one epoch across all Q evaluations of an
+	// Allocate call; the pooled solver entry points bump the epoch per
+	// solve so a recycled workspace can never leak another instance's
+	// equilibria.
+	eqMemo  []eqMemoEntry
+	eqEpoch uint32
+
+	// polishRho0/polishRho1 snapshot an allocation's shares so a rejected
+	// association flip restores them instead of re-water-filling.
+	polishRho0, polishRho1 []float64
+}
+
+// eqMemoEntry is one cached inner-bisection result, keyed by the raw float
+// bits of the common price and the FBS's expected-channel count.
+type eqMemoEntry struct {
+	l0, g uint64  // math.Float64bits of lambda_0 and G_i
+	li    float64 // equilibrium band price
+	mask  uint64  // bit b set = byFBS member b prefers the MBS at li
+	fbs   int32
+	epoch uint32
+}
+
+const (
+	eqMemoSize  = 2048 // power of two
+	eqMemoProbe = 8
+)
+
+// eqMemoHash mixes the key triple splitmix-style into a table index.
+func eqMemoHash(fbs int32, l0, g uint64) uint64 {
+	h := l0 ^ g*0x9E3779B97F4A7C15 ^ uint64(uint32(fbs))<<32
+	h ^= h >> 33
+	h *= 0xFF51AFD7ED558CCD
+	h ^= h >> 33
+	return h
+}
+
+// bumpEqEpoch starts a fresh memo epoch, invalidating every cached
+// equilibrium in O(1). Callers must bump whenever the base instance behind
+// the memoized solves changes (the greedy allocator once per Allocate, the
+// pooled solver wrappers once per solve).
+func (ws *solveWorkspace) bumpEqEpoch() {
+	ws.eqEpoch++
+	if ws.eqEpoch == 0 { // uint32 wraparound: flush so old tags cannot match
+		for i := range ws.eqMemo {
+			ws.eqMemo[i] = eqMemoEntry{}
+		}
+		ws.eqEpoch = 1
+	}
+}
+
+// eqMemoGet looks up the memoized equilibrium of FBS fbs at common price
+// l0f with expected channels gf.
+func (ws *solveWorkspace) eqMemoGet(fbs int, l0f, gf float64) (float64, uint64, bool) {
+	if len(ws.eqMemo) == 0 || ws.eqEpoch == 0 {
+		return 0, 0, false
+	}
+	l0 := math.Float64bits(l0f)
+	g := math.Float64bits(gf)
+	h := eqMemoHash(int32(fbs), l0, g)
+	for p := uint64(0); p < eqMemoProbe; p++ {
+		e := &ws.eqMemo[(h+p)&(eqMemoSize-1)]
+		if e.epoch == ws.eqEpoch && e.fbs == int32(fbs) && e.l0 == l0 && e.g == g {
+			return e.li, e.mask, true
+		}
+	}
+	return 0, 0, false
+}
+
+// eqMemoPut records an equilibrium under the current epoch, preferring
+// stale slots along the probe window and overwriting the home slot when
+// the window is full of live entries (it is a cache, not a map).
+func (ws *solveWorkspace) eqMemoPut(fbs int, l0f, gf float64, li float64, mask uint64) {
+	if ws.eqEpoch == 0 {
+		return
+	}
+	if cap(ws.eqMemo) < eqMemoSize {
+		ws.eqMemo = make([]eqMemoEntry, eqMemoSize)
+	}
+	ws.eqMemo = ws.eqMemo[:eqMemoSize]
+	l0 := math.Float64bits(l0f)
+	g := math.Float64bits(gf)
+	h := eqMemoHash(int32(fbs), l0, g)
+	slot := &ws.eqMemo[h&(eqMemoSize-1)]
+	for p := uint64(0); p < eqMemoProbe; p++ {
+		e := &ws.eqMemo[(h+p)&(eqMemoSize-1)]
+		if e.epoch != ws.eqEpoch {
+			slot = e
+			break
+		}
+		if e.fbs == int32(fbs) && e.l0 == l0 && e.g == g {
+			return // already cached this epoch
+		}
+	}
+	*slot = eqMemoEntry{l0: l0, g: g, li: li, mask: mask, fbs: int32(fbs), epoch: ws.eqEpoch}
 }
 
 // workspacePool shares workspaces across all solver instances. sync.Pool
@@ -96,10 +210,24 @@ func (ws *solveWorkspace) prepareUsers(in *Instance) {
 	ws.u0 = growU(ws.u0, k)
 	ws.u1 = growU(ws.u1, k)
 	ws.logW = growF(ws.logW, k)
+	ws.wr0 = growF(ws.wr0, k)
+	ws.wr1 = growF(ws.wr1, k)
+	ws.bl0 = growF(ws.bl0, k)
+	ws.bl1 = growF(ws.bl1, k)
 	for j := 0; j < k; j++ {
 		ws.u0[j] = in.user0(j)
 		ws.u1[j] = in.user1(j)
-		ws.logW[j] = math.Log(in.W[j])
+		lw := math.Log(in.W[j])
+		ws.logW[j] = lw
+		ws.wr0[j], ws.wr1[j] = 0, 0
+		if r := ws.u0[j].r; r > 0 {
+			ws.wr0[j] = in.W[j] / r
+		}
+		if r := ws.u1[j].r; r > 0 {
+			ws.wr1[j] = in.W[j] / r
+		}
+		ws.bl0[j] = ws.u0[j].ps*lw + (1-ws.u0[j].ps)*lw
+		ws.bl1[j] = ws.u1[j].ps*lw + (1-ws.u1[j].ps)*lw
 	}
 }
 

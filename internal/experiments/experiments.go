@@ -32,8 +32,10 @@ type Params struct {
 	// randomness from its own seed, so results are bitwise-identical for
 	// any worker count.
 	//
-	// Deprecated: set Parallel.Workers instead. This field is still honored
-	// when Parallel.Workers is zero so existing callers keep working.
+	// Deprecated: set Parallel.Workers instead. This field is consulted
+	// only when Parallel.Workers is exactly zero (unset), so existing
+	// callers keep working; any nonzero Parallel.Workers — including
+	// negative values meaning "use every CPU" — takes precedence.
 	Workers int
 	// Parallel bundles the parallel-execution knobs shared with
 	// sim.Options: Workers caps concurrent runs (same contract as the

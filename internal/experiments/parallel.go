@@ -5,11 +5,14 @@ import (
 	"femtocr/internal/stats"
 )
 
-// workers resolves the effective worker count for this experiment: the
-// unified Parallel.Workers knob when positive, else the deprecated
-// Params.Workers field, else one worker per available CPU.
+// workers resolves the effective worker count for this experiment.
+// Parallel.Workers always wins when set to anything nonzero — including
+// negative values, which EffectiveWorkers treats as "use every CPU" — and
+// the deprecated Params.Workers field is consulted only when Parallel is
+// left at its zero value. (A previous version let a positive deprecated
+// field override an explicitly negative Parallel.Workers.)
 func (p Params) workers() int {
-	if p.Parallel.Workers <= 0 && p.Workers > 0 {
+	if p.Parallel.Workers == 0 && p.Workers > 0 {
 		return p.Workers
 	}
 	return p.Parallel.EffectiveWorkers()

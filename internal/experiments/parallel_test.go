@@ -53,6 +53,36 @@ func TestParallelDeterminism(t *testing.T) {
 	}
 }
 
+// TestWorkersPrecedence pins the resolution order of the two worker knobs:
+// any nonzero Parallel.Workers — including negative, meaning "use every
+// CPU" — beats the deprecated Params.Workers field, which is consulted only
+// when Parallel.Workers is exactly zero. The negative case is the historical
+// bug: the old `Parallel.Workers <= 0` guard let a positive deprecated field
+// override an explicit Parallel.Workers = -1.
+func TestWorkersPrecedence(t *testing.T) {
+	nCPU := runtime.GOMAXPROCS(0)
+	cases := []struct {
+		name               string
+		parallel, deprecat int
+		want               int
+	}{
+		{"parallel wins over deprecated", 3, 7, 3},
+		{"deprecated honored when parallel unset", 0, 7, 7},
+		{"negative parallel beats deprecated", -1, 7, nCPU},
+		{"both unset falls back to CPUs", 0, 0, nCPU},
+		{"negative deprecated ignored", 0, -5, nCPU},
+	}
+	for _, c := range cases {
+		p := QuickParams()
+		p.Parallel.Workers = c.parallel
+		p.Workers = c.deprecat
+		if got := p.workers(); got != c.want {
+			t.Errorf("%s: workers() = %d, want %d (Parallel.Workers=%d, Workers=%d)",
+				c.name, got, c.want, c.parallel, c.deprecat)
+		}
+	}
+}
+
 // TestTopologyStudyDeterminism covers the solver-level driver, whose
 // randomness flows through pre-split per-trial streams rather than sim
 // seeds.

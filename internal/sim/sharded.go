@@ -144,7 +144,8 @@ var runShard = Run
 // into connected components (shards) and running the unsharded engine on
 // each independently: every shard gets its own MBS capacity slice, sensing
 // fusion domain, and seed stream (ShardSeed). Shards are grouped into
-// opts.Parallel.Shards grid tasks executed over opts.Parallel.Workers
+// opts.Parallel.Shards grid tasks — contiguous component ranges weighted by
+// user count (shardBounds) — executed over opts.Parallel.Workers
 // workers via par.RunGrid; each task reduces its shards to fixed-size
 // summaries in place, and after the join the summaries fold in ascending
 // component order, so the result is bitwise-identical for any Workers and
@@ -184,12 +185,12 @@ func RunSharded(net *netmodel.Network, opts Options) (*ShardedResult, error) {
 	perShard := make([]ShardSummary, numShards)
 	taskNS := make([]int64, groups)
 	shardNS := make([]int64, numShards)
+	bounds := shardBounds(shards, groups)
 	gridErr := par.RunGrid(groups, opts.Parallel.Workers, func(g int) error {
 		t0 := time.Now() //femtovet:ignore randsource -- per-task ns accounting (ShardTiming.TaskNS), not simulation state
 		// Task g owns the contiguous component range [lo, hi): summaries
 		// land in the task's own slots, keyed by component index.
-		lo := g * numShards / groups
-		hi := (g + 1) * numShards / groups
+		lo, hi := bounds[g], bounds[g+1]
 		for c := lo; c < hi; c++ {
 			sub, err := net.Subnetwork(&shards[c])
 			if err != nil {
@@ -223,6 +224,71 @@ func RunSharded(net *netmodel.Network, opts Options) (*ShardedResult, error) {
 	}
 	out.Timing = timing
 	return out, nil
+}
+
+// shardBounds splits the components into groups contiguous ranges
+// [bounds[g], bounds[g+1]) balanced by user count rather than component
+// count. The previous equal-count ranges packed skewed components
+// arbitrarily: one task could own every heavy component while its siblings
+// drew the light ones, and MaxTaskNS — the critical path IdealSpeedup
+// divides by — grew to match. This is the classic minimax contiguous
+// partition (painter's problem), solved exactly: binary search on the
+// heaviest-task cap with a greedy feasibility count, then a greedy packing
+// under the minimal cap. Integer arithmetic throughout, one call per run —
+// nowhere near the hot path. The cap never sits below the heaviest single
+// component, so the tail clamp (each remaining task takes one component)
+// cannot push a task over it; EffectiveShards guarantees groups never
+// exceeds the component count, making every task nonempty. Only the
+// grouping changes: summaries still land in component-indexed slots and
+// fold in ascending component order, so the quality results stay
+// bitwise-identical for any grouping, as before.
+func shardBounds(shards []netmodel.Shard, groups int) []int {
+	n := len(shards)
+	weights := make([]int64, n)
+	var total, heaviest int64
+	for c := range shards {
+		w := int64(len(shards[c].Users))
+		weights[c] = w
+		total += w
+		if w > heaviest {
+			heaviest = w
+		}
+	}
+	// tasksAt counts how many greedy ranges a heaviest-task cap requires.
+	tasksAt := func(limit int64) int {
+		tasks, w := 1, int64(0)
+		for _, x := range weights {
+			if w+x > limit {
+				tasks++
+				w = x
+			} else {
+				w += x
+			}
+		}
+		return tasks
+	}
+	lo, hi := heaviest, total
+	for lo < hi {
+		mid := lo + (hi-lo)/2
+		if tasksAt(mid) <= groups {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	bounds := make([]int, groups+1)
+	c := 0
+	for g := 0; g < groups; g++ {
+		last := n - (groups - 1 - g) // leave one component per remaining task
+		w := weights[c]
+		c++
+		for c < last && w+weights[c] <= lo {
+			w += weights[c]
+			c++
+		}
+		bounds[g+1] = c
+	}
+	return bounds
 }
 
 // reduceShard compresses one shard's full Result into the fixed-size

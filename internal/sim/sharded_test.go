@@ -161,6 +161,149 @@ func TestShardedInvariantAcrossShardsAndWorkers(t *testing.T) {
 	}
 }
 
+// equalCountBounds is the grouping rule shardBounds replaced, kept here as
+// the regression reference: contiguous ranges balanced by component count,
+// blind to how many users each component holds.
+func equalCountBounds(n, groups int) []int {
+	bounds := make([]int, groups+1)
+	for g := 0; g <= groups; g++ {
+		bounds[g] = g * n / groups
+	}
+	return bounds
+}
+
+// maxRangeWeight returns the heaviest contiguous range's total weight under
+// a grouping — the critical path of that grouping for the given per-shard
+// costs.
+func maxRangeWeight(weights []int64, bounds []int) int64 {
+	var worst int64
+	for g := 0; g+1 < len(bounds); g++ {
+		var w int64
+		for c := bounds[g]; c < bounds[g+1]; c++ {
+			w += weights[c]
+		}
+		if w > worst {
+			worst = w
+		}
+	}
+	return worst
+}
+
+// TestShardBoundsBalanceUserWeight pins the shard-imbalance fix: grouping
+// must weight contiguous component ranges by user count, not component
+// count. On a skewed population the heaviest task's user load must never
+// exceed the equal-count grouping's, and on the canonical metro skew (one
+// dense downtown component among light suburbs) it must strictly improve.
+// Structural invariants: bounds strictly increase (every task nonempty,
+// possible since groups <= components) and cover every component exactly.
+func TestShardBoundsBalanceUserWeight(t *testing.T) {
+	mkShards := func(counts []int) []netmodel.Shard {
+		shards := make([]netmodel.Shard, len(counts))
+		for c, k := range counts {
+			shards[c] = netmodel.Shard{Component: c, Users: make([]int, k)}
+		}
+		return shards
+	}
+	weightsOf := func(counts []int) []int64 {
+		w := make([]int64, len(counts))
+		for i, k := range counts {
+			w[i] = int64(k)
+		}
+		return w
+	}
+	populations := [][]int{
+		{9, 1, 1, 1, 1},          // dense downtown, light suburbs
+		{1, 1, 1, 9, 1, 1, 1, 8}, // heavy components mid- and tail-range
+		{3, 3, 3, 3, 3, 3},       // uniform: weighted must not do worse
+		{1, 30, 1},               // one giant component dominates everything
+		{5},                      // single component
+	}
+	for _, counts := range populations {
+		shards := mkShards(counts)
+		weights := weightsOf(counts)
+		for groups := 1; groups <= len(counts); groups++ {
+			bounds := shardBounds(shards, groups)
+			if len(bounds) != groups+1 || bounds[0] != 0 || bounds[groups] != len(counts) {
+				t.Fatalf("counts=%v groups=%d: bounds %v do not cover [0,%d)", counts, groups, bounds, len(counts))
+			}
+			for g := 0; g < groups; g++ {
+				if bounds[g+1] <= bounds[g] {
+					t.Fatalf("counts=%v groups=%d: empty task %d in bounds %v", counts, groups, g, bounds)
+				}
+			}
+			got := maxRangeWeight(weights, bounds)
+			ref := maxRangeWeight(weights, equalCountBounds(len(counts), groups))
+			if got > ref {
+				t.Errorf("counts=%v groups=%d: weighted max task load %d exceeds equal-count %d (bounds %v)",
+					counts, groups, got, ref, bounds)
+			}
+		}
+	}
+	// The canonical skew must strictly improve: equal-count at 2 groups
+	// packs the 9-user component with a suburb (10 vs 3); weighted isolates
+	// it (9 vs 4).
+	skew := []int{9, 1, 1, 1, 1}
+	got := maxRangeWeight(weightsOf(skew), shardBounds(mkShards(skew), 2))
+	ref := maxRangeWeight(weightsOf(skew), equalCountBounds(len(skew), 2))
+	if got >= ref {
+		t.Fatalf("skewed grid: weighted max task load %d, want strictly below equal-count %d", got, ref)
+	}
+}
+
+// TestShardedTimingImprovedBySkewAwareGrouping runs a genuinely skewed
+// non-interfering network — one FBS streaming nine videos beside four
+// single-video FBSs — and checks, from the measured per-shard times, that
+// the grouping's critical path (the max per-task share ShardTiming reports)
+// is no worse than the equal-count grouping would have produced on the very
+// same measurements. The quality fold must stay bitwise-identical to the
+// one-group run, re-proving grouping only affects scheduling.
+func TestShardedTimingImprovedBySkewAwareGrouping(t *testing.T) {
+	trio := video.PaperTrio()
+	nine := make([]video.Sequence, 0, 9)
+	for i := 0; i < 3; i++ {
+		nine = append(nine, trio[:]...)
+	}
+	groupsOfVideos := [][]video.Sequence{nine, trio[:1], trio[1:2], trio[2:3], trio[:1]}
+	net, err := netmodel.NonInterfering(netmodel.DefaultConfig(), groupsOfVideos)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := Options{Seed: 4000, GOPs: 6, Scheme: Proposed, Parallel: Parallelism{Workers: 1, Shards: 2}}
+	got, err := RunSharded(net, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Shards != 5 || got.Groups != 2 {
+		t.Fatalf("shards=%d groups=%d, want 5 components in 2 groups", got.Shards, got.Groups)
+	}
+	if got.Timing == nil || len(got.Timing.TaskNS) != 2 || len(got.Timing.ShardNS) != 5 {
+		t.Fatalf("timing = %+v, want 2 task and 5 shard entries", got.Timing)
+	}
+	// Recompute both groupings' critical paths from the same measured
+	// per-shard times: the dense component costs far more than the four
+	// light ones combined, so isolating it must not lengthen the max task.
+	shards, err := net.Partition()
+	if err != nil {
+		t.Fatal(err)
+	}
+	weighted := maxRangeWeight(got.Timing.ShardNS, shardBounds(shards, 2))
+	equal := maxRangeWeight(got.Timing.ShardNS, equalCountBounds(5, 2))
+	if weighted > equal {
+		t.Errorf("weighted grouping critical path %dns exceeds equal-count %dns (shardNS %v)",
+			weighted, equal, got.Timing.ShardNS)
+	}
+	// Grouping must not touch the folded quality results.
+	ref, err := RunSharded(net, Options{Seed: 4000, GOPs: 6, Scheme: Proposed, Parallel: Parallelism{Workers: 1, Shards: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got.Timing, ref.Timing = nil, nil
+	got.Groups, ref.Groups = 0, 0
+	if !reflect.DeepEqual(got, ref) {
+		t.Fatalf("grouping changed the folded result:\n got: %+v\nwant: %+v", got, ref)
+	}
+}
+
 func TestShardSeed(t *testing.T) {
 	if ShardSeed(42, 0) != 42 {
 		t.Fatal("shard 0 must keep the base seed (single-component bitwise reduction)")

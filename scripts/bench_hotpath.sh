@@ -12,6 +12,13 @@
 # the sim slot step must show >= 50% fewer allocs/op and >= 20% lower
 # ns/op than the baseline.
 #
+# Regression gate: the script exits nonzero when BenchmarkGreedyLazy or any
+# BenchmarkSlotStep* row runs more than 10% slower (ns/op) than its
+# baseline entry, so a hot-path regression fails the CI job instead of
+# shipping inside a green artifact. The baseline was re-recorded at the
+# commit before the incremental-greedy/vectorized-water-filling rework, on
+# the same 1-CPU container class CI uses.
+#
 # Usage: scripts/bench_hotpath.sh [output.json]
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -19,34 +26,47 @@ cd "$(dirname "$0")/.."
 out="${1:-BENCH_hotpath.json}"
 core_benchtime="${FEMTOCR_BENCHTIME:-50x}"
 sim_benchtime="${FEMTOCR_BENCHTIME:-20x}"
+# Each benchmark runs count times and the minimum ns/op sample is kept —
+# the shared CI containers have multi-x clock jitter between scheduling
+# windows, and the minimum is the standard noise-robust statistic for
+# "how fast is this code", which the 10% gate needs to stay non-flaky.
+bench_count="${FEMTOCR_BENCHCOUNT:-5}"
 baseline="scripts/bench_hotpath_baseline.txt"
 
 raw=$(
-    go test -run '^$' -benchmem -benchtime "$core_benchtime" \
+    go test -run '^$' -benchmem -benchtime "$core_benchtime" -count "$bench_count" \
         -bench 'BenchmarkDualSolver$|BenchmarkEquilibriumSolver$|BenchmarkGreedyLazy$|BenchmarkHeuristic1$|BenchmarkHeuristic2$|BenchmarkWaterfill$' \
         ./internal/core/
-    go test -run '^$' -benchmem -benchtime "$sim_benchtime" \
+    go test -run '^$' -benchmem -benchtime "$sim_benchtime" -count "$bench_count" \
         -bench 'BenchmarkSlotStep|BenchmarkGOPProposedSingle$|BenchmarkGOPProposedInterfering$' \
         ./internal/sim/
 )
 echo "$raw"
 
 awk -v out="$out" -v core_benchtime="$core_benchtime" -v sim_benchtime="$sim_benchtime" \
+    -v bench_count="$bench_count" \
     -v cpus="$(nproc)" -v gomaxprocs="${GOMAXPROCS:-$(nproc)}" '
 # Parse one `go test -bench` result line: name, then value/unit pairs.
 # Field positions vary (custom metrics like Q_evals appear mid-line), so
 # units are located by scanning, and the CPU-count suffix (-8) is stripped
-# for stable keys.
-function parse(line, dest,    f, n, i, name) {
+# for stable keys. Repeated samples of one benchmark (-count > 1) keep the
+# minimum-ns/op line, all metrics taken from that same sample.
+function parse(line, dest,    f, n, i, name, ns, bytes, allocs) {
     n = split(line, f, /[ \t]+/)
     name = f[1]
     sub(/-[0-9]+$/, "", name)
     sub(/^Benchmark/, "", name)
+    ns = ""; bytes = 0; allocs = 0
     for (i = 3; i <= n; i++) {
-        if (f[i] == "ns/op")     dest[name, "ns"]     = f[i-1]
-        if (f[i] == "B/op")      dest[name, "bytes"]  = f[i-1]
-        if (f[i] == "allocs/op") dest[name, "allocs"] = f[i-1]
+        if (f[i] == "ns/op")     ns     = f[i-1]
+        if (f[i] == "B/op")      bytes  = f[i-1]
+        if (f[i] == "allocs/op") allocs = f[i-1]
     }
+    if (ns == "") return
+    if (((name, "ns") in dest) && dest[name, "ns"] + 0 <= ns + 0) return
+    dest[name, "ns"]     = ns
+    dest[name, "bytes"]  = bytes
+    dest[name, "allocs"] = allocs
     if (!((name) in seen)) { order[++count] = name; seen[name] = 1 }
 }
 FILENAME == baseline && /^Benchmark/ { parse($0, before); next }
@@ -63,12 +83,22 @@ END {
     printf "  \"gomaxprocs\": %d,\n", gomaxprocs > out
     printf "  \"benchtime_core\": \"%s\",\n", core_benchtime > out
     printf "  \"benchtime_sim\": \"%s\",\n", sim_benchtime > out
+    printf "  \"bench_count\": %d,\n", bench_count > out
+    printf "  \"statistic\": \"min ns/op sample per benchmark\",\n" > out
     printf "  \"baseline\": \"scripts/bench_hotpath_baseline.txt\",\n" > out
+    printf "  \"caveat\": \"per-task ns/op measured on a 1-CPU container: wall-clock parallel speedup is pinned at ~1.0 here, so compare serialized work (ns/op, allocs/op), never wall time\",\n" > out
     printf "  \"results\": [\n" > out
     emitted = 0
+    failed = 0
     for (i = 1; i <= count; i++) {
         name = order[i]
         if (!((name, "ns") in before) || !((name, "ns") in after)) continue
+        if ((name == "GreedyLazy" || name ~ /^SlotStep/) && \
+            after[name, "ns"] > 1.10 * before[name, "ns"]) {
+            printf "bench_hotpath.sh: REGRESSION: %s ns/op %.1f is >10%% above baseline %.1f\n", \
+                name, after[name, "ns"], before[name, "ns"] > "/dev/stderr"
+            failed = 1
+        }
         if (emitted++) printf ",\n" > out
         printf "    {\"name\": \"%s\",\n", name > out
         printf "     \"before\": {\"ns_per_op\": %.1f, \"bytes_per_op\": %d, \"allocs_per_op\": %d},\n", \
@@ -85,6 +115,7 @@ END {
         print "bench_hotpath.sh: no benchmark pairs matched the baseline" > "/dev/stderr"
         exit 1
     }
+    if (failed) exit 2
 }
 ' baseline="$baseline" "$baseline" <(echo "$raw")
 echo "wrote $out"
