@@ -56,6 +56,9 @@ func run(args []string, w io.Writer) (retErr error) {
 		eps       = fs.Float64("eps", 0.3, "sensing false-alarm probability")
 		delta     = fs.Float64("delta", 0.3, "sensing miss-detection probability")
 		bound     = fs.Bool("bound", false, "track the eq. (23) upper bound (interfering + proposed)")
+		dual      = fs.Bool("dual", false, "use the distributed dual subgradient solver (Tables I/II) instead of the price-equilibrium default")
+		warm      = fs.Bool("warmstart", false, "carry dual multipliers across slots (same results, fewer solver iterations)")
+		warmStats = fs.Bool("warmstats", false, "collect per-slot solver iteration statistics and print a WARMSTATS line")
 		dualTrace = fs.Bool("dualtrace", false, "print the dual-variable convergence trace of the first slot")
 		dualIters = fs.Int("dualiters", 600, "dual iterations for -dualtrace")
 		packets   = fs.Bool("packets", false, "run the packet-level engine (NAL queues, ARQ, deadlines)")
@@ -134,7 +137,8 @@ func run(args []string, w io.Writer) (retErr error) {
 			return fmt.Errorf("unknown metro layout %q", *metroLay)
 		}
 		return runMetro(out, cfg, spec, sch, *seed, *runs, *gops,
-			sim.Parallelism{Workers: *workers, Shards: *shards}, *asJSON)
+			sim.Parallelism{Workers: *workers, Shards: *shards}, *asJSON,
+			*dual, *warm, *warmStats)
 	}
 
 	var net *netmodel.Network
@@ -178,6 +182,9 @@ func run(args []string, w io.Writer) (retErr error) {
 			DualIterations:      *dualIters,
 			TrackBeliefs:        *beliefs,
 			EstimateUtilization: *estimate,
+			UseDualSolver:       *dual,
+			WarmStart:           *warm,
+			SolveStats:          *warmStats,
 			Recorder:            recorders[r],
 		})
 		if err != nil {
@@ -239,6 +246,9 @@ func run(args []string, w io.Writer) (retErr error) {
 	}
 	fmt.Fprintf(out, "worst user: %.2f dB | fairness (Jain on gains): %.3f\n", minAcc.Mean(), fairAcc.Mean())
 	fmt.Fprintf(out, "max conditional collision rate: %.3f (gamma = %.2f; collisions per truly-busy slot, eq. (6))\n", collAcc.Mean(), cfg.Gamma)
+	if *warmStats && lastResult != nil {
+		printWarmStats(out, lastResult.Warm, *dual, lastResult.MeanPSNR)
+	}
 	if *asJSON && lastResult != nil {
 		lastResult.DualTrace = nil // keep the JSON compact
 		enc := json.NewEncoder(out)
@@ -257,7 +267,8 @@ func run(args []string, w io.Writer) (retErr error) {
 // bitwise-deterministic for any -shards/-workers setting, and the bench
 // harness cross-checks that.
 func runMetro(out *safeio.Writer, cfg netmodel.Config, spec netmodel.TopologySpec,
-	sch sim.Scheme, seed uint64, runs, gops int, parallel sim.Parallelism, asJSON bool) error {
+	sch sim.Scheme, seed uint64, runs, gops int, parallel sim.Parallelism, asJSON bool,
+	dual, warm, warmStats bool) error {
 	if runs < 1 {
 		return fmt.Errorf("metro: runs=%d", runs)
 	}
@@ -269,10 +280,13 @@ func runMetro(out *safeio.Writer, cfg netmodel.Config, spec netmodel.TopologySpe
 	var meanAcc, minAcc, fairAcc, collAcc stats.Running
 	for r := 0; r < runs; r++ {
 		res, err := sim.RunSharded(net, sim.Options{
-			Seed:     seed + uint64(r),
-			GOPs:     gops,
-			Scheme:   sch,
-			Parallel: parallel,
+			Seed:          seed + uint64(r),
+			GOPs:          gops,
+			Scheme:        sch,
+			Parallel:      parallel,
+			UseDualSolver: dual,
+			WarmStart:     warm,
+			SolveStats:    warmStats,
 		})
 		if err != nil {
 			return fmt.Errorf("run %d (seed %d): %w", r, seed+uint64(r), err)
@@ -289,6 +303,9 @@ func runMetro(out *safeio.Writer, cfg netmodel.Config, spec netmodel.TopologySpe
 			fmt.Fprintf(out, "SHARDSTATS groups=%d workers=%d wall_ns=%d sum_task_ns=%d max_task_ns=%d ideal_speedup=%.3f psnr=%.17g\n",
 				res.Groups, parallel.EffectiveWorkers(), res.Timing.WallNS,
 				res.Timing.SumTaskNS, res.Timing.MaxTaskNS, res.Timing.IdealSpeedup(), res.MeanPSNR)
+			if warmStats {
+				printWarmStats(out, res.Warm, dual, res.MeanPSNR)
+			}
 		}
 		meanAcc.Add(res.MeanPSNR)
 		minAcc.Add(res.MinUserPSNR)
@@ -307,6 +324,23 @@ func runMetro(out *safeio.Writer, cfg netmodel.Config, spec netmodel.TopologySpe
 		}
 	}
 	return out.Err()
+}
+
+// printWarmStats emits the machine-parsed WARMSTATS line that
+// scripts/bench_warmstart.sh consumes. The PSNR is printed to full
+// precision because the bench gate cross-checks that warm and cold runs
+// agree bitwise, mirroring the SHARDSTATS contract.
+func printWarmStats(out *safeio.Writer, w *sim.WarmStartReport, dual bool, psnr float64) {
+	if w == nil {
+		return
+	}
+	solver := "equilibrium"
+	if dual {
+		solver = "dual"
+	}
+	fmt.Fprintf(out, "WARMSTATS mode=%s solver=%s solves=%d warm_solves=%d trivial=%d restarts=%d total_iters=%d mean_iters=%.3f p50=%d p90=%d p99=%d max=%d psnr=%.17g\n",
+		w.Mode, solver, w.Stats.Solves, w.Stats.WarmSolves, w.Stats.TrivialSolves, w.Stats.Restarts,
+		w.Stats.TotalIters, w.IterMean, w.IterP50, w.IterP90, w.IterP99, w.IterMax, psnr)
 }
 
 // runPackets drives the packet-level engine and prints its statistics.

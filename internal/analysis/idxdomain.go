@@ -62,10 +62,11 @@ func runIdxDomain(pass *Pass) {
 				continue
 			}
 			ck := &idxChecker{
-				pass:  pass,
-				reg:   reg,
-				du:    flow.NewDefUse(fd, pass.Info),
-				loops: make(map[types.Object]string),
+				pass:    pass,
+				reg:     reg,
+				du:      flow.NewDefUse(fd, pass.Info),
+				loops:   make(map[types.Object]string),
+				walking: make(map[walkKey]bool),
 			}
 			ck.run(fd)
 		}
@@ -77,6 +78,18 @@ type idxChecker struct {
 	reg   *domainRegistry
 	du    *flow.DefUse
 	loops map[types.Object]string // loop variable -> bound domain
+	// walking guards the SoleDef-chasing recursion: a buffer swap like
+	// `a, b = b, a` makes each variable's sole definition mention the
+	// other, so a revisited (object, axis) must resolve as unknown
+	// instead of recursing forever.
+	walking map[walkKey]bool
+}
+
+// walkKey identifies one in-progress domain resolution; dim -1 marks a
+// boundDomain walk (count position), dims >= 0 a container axis.
+type walkKey struct {
+	obj types.Object
+	dim int
 }
 
 func (ck *idxChecker) run(fd *ast.FuncDecl) {
@@ -183,7 +196,14 @@ func (ck *idxChecker) boundDomain(e ast.Expr) string {
 		}
 		if v, ok := obj.(*types.Var); ok {
 			if def := ck.du.SoleDef(v); def != nil {
-				return ck.boundDomain(def)
+				k := walkKey{obj, -1}
+				if ck.walking[k] {
+					return ""
+				}
+				ck.walking[k] = true
+				dom := ck.boundDomain(def)
+				delete(ck.walking, k)
+				return dom
 			}
 		}
 	case *ast.SelectorExpr:
@@ -216,7 +236,14 @@ func (ck *idxChecker) containerDomain(e ast.Expr, dim int) string {
 		}
 		if v, ok := obj.(*types.Var); ok {
 			if def := ck.du.SoleDef(v); def != nil {
-				return ck.defDomain(def, dim)
+				k := walkKey{obj, dim}
+				if ck.walking[k] {
+					return ""
+				}
+				ck.walking[k] = true
+				dom := ck.defDomain(def, dim)
+				delete(ck.walking, k)
+				return dom
 			}
 		}
 	case *ast.SelectorExpr:

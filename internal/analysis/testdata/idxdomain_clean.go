@@ -42,3 +42,16 @@ func freeVariable(users []float64, k int) float64 {
 	// k has no tracked domain, so indexing with it is not judged.
 	return users[k]
 }
+
+func doubleBuffer(cur, next []float64, numUsers int) float64 {
+	// A ping-pong buffer swap makes each slice's sole definition mention
+	// the other; domain resolution must treat the cycle as unknown (and
+	// terminate) instead of chasing definitions forever.
+	total := 0.0
+	for j := 0; j < numUsers; j++ {
+		next[j] = cur[j] * 0.5
+		cur, next = next, cur
+		total += cur[j]
+	}
+	return total
+}

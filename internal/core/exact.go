@@ -97,6 +97,7 @@ type EquilibriumSolver struct {
 var (
 	_ Solver     = (*EquilibriumSolver)(nil)
 	_ IntoSolver = (*EquilibriumSolver)(nil)
+	_ WarmSolver = (*EquilibriumSolver)(nil)
 )
 
 // Name identifies the scheme.
@@ -125,6 +126,26 @@ func (e *EquilibriumSolver) SolveInto(in *Instance, out *Allocation) error {
 	return e.solveInto(in, out)
 }
 
+// SolveWarmInto is SolveInto seeded from a cross-slot session: when sess
+// carries the previous slot's outer common price for an instance of the
+// same shape, the outer bisection brackets around it ([l0/2, 2*l0], grown
+// outward as needed) at roughly half the cold bisection depth, instead of
+// expanding from the global [floor, sum(ps)] bracket. A nil session or a
+// seeding-disabled session degrades to the cold path; shape changes and a
+// runaway bracket expansion re-cold-start automatically. See SolverSession.
+//
+//femtovet:hotpath
+//femtovet:borrows in, out, sess
+func (e *EquilibriumSolver) SolveWarmInto(in *Instance, out *Allocation, sess *SolverSession) error {
+	if err := in.Validate(); err != nil {
+		return err
+	}
+	ws := getWorkspace()
+	defer putWorkspace(ws)
+	ws.bumpEqEpoch()
+	return e.solveSessionWS(in, out, ws, sess)
+}
+
 func (e *EquilibriumSolver) solveInto(in *Instance, alloc *Allocation) error {
 	ws := getWorkspace()
 	defer putWorkspace(ws)
@@ -143,6 +164,16 @@ func (e *EquilibriumSolver) solveInto(in *Instance, alloc *Allocation) error {
 //femtovet:hotpath
 //femtovet:borrows in, alloc, ws
 func (e *EquilibriumSolver) solveIntoWS(in *Instance, alloc *Allocation, ws *solveWorkspace) error {
+	return e.solveSessionWS(in, alloc, ws, nil)
+}
+
+// solveSessionWS is the full equilibrium solve on a caller-held workspace
+// with an optional cross-slot session; sess == nil is the legacy cold path,
+// bit-identical to the pre-session solver.
+//
+//femtovet:hotpath
+//femtovet:borrows in, alloc, ws, sess
+func (e *EquilibriumSolver) solveSessionWS(in *Instance, alloc *Allocation, ws *solveWorkspace, sess *SolverSession) error {
 	iters := e.Iters
 	if iters == 0 {
 		iters = 45
@@ -253,7 +284,12 @@ func (e *EquilibriumSolver) solveIntoWS(in *Instance, alloc *Allocation, ws *sol
 	}
 
 	// Outer bisection on lambda_0: MBS demand is non-increasing in it.
+	// outerProbes counts the demand0 evaluations of one solve — each one
+	// walks every FBS's inner equilibrium — and is the "iterations" a
+	// session records for this solver.
+	outerProbes := 0
 	demand0 := func(l0 float64) float64 {
+		outerProbes++
 		total := 0.0
 		for i := 1; i <= in.N(); i++ {
 			_, mask := equilibriumFBS(i, l0)
@@ -269,25 +305,93 @@ func (e *EquilibriumSolver) solveIntoWS(in *Instance, alloc *Allocation, ws *sol
 		return total
 	}
 
+	warm := false
+	if sess != nil {
+		sess.observe(in)
+		warm = sess.seeding && sess.haveL0
+	}
 	lo := lambdaFloor
 	l0 := lo
+	trivial := true
 	if demand0(lo) > 1 {
-		hi := sum0PS
-		if hi <= lo {
-			hi = 1
-		}
-		for demand0(hi) > 1 {
-			hi *= 2
-		}
-		for it := 0; it < iters; it++ {
-			mid := 0.5 * (lo + hi)
-			if demand0(mid) > 1 {
-				lo = mid
+		trivial = false
+		solved := false
+		if warm {
+			// Warm bracket around the previous slot's clearing price: under
+			// the Markov channel correlation it rarely moves by more than
+			// 2x per slot, so [l0/2, 2*l0] usually brackets and half the
+			// cold depth resolves it to comparable relative precision. The
+			// expansion guard trips when the carried price is far off
+			// (correlation assumption failed) and falls back to the cold
+			// global bracket.
+			wlo := 0.5 * sess.l0
+			if wlo < lambdaFloor {
+				wlo = lambdaFloor
+			}
+			whi := 2 * sess.l0
+			if whi <= wlo {
+				whi = 1
+			}
+			ok := true
+			for guard := 0; demand0(whi) > 1; guard++ {
+				if guard >= 60 {
+					ok = false
+					break
+				}
+				wlo = whi
+				whi *= 2
+			}
+			if ok {
+				for wlo > lambdaFloor && demand0(wlo) <= 1 {
+					whi = wlo
+					wlo *= 0.5
+				}
+				// Invariant: demand0(wlo) > 1 >= demand0(whi), like the
+				// cold bracket before its bisection.
+				warmIters := iters/2 + 4
+				for it := 0; it < warmIters; it++ {
+					mid := 0.5 * (wlo + whi)
+					if demand0(mid) > 1 {
+						wlo = mid
+					} else {
+						whi = mid
+					}
+				}
+				l0 = whi
+				solved = true
 			} else {
-				hi = mid
+				sess.stats.Restarts++
 			}
 		}
-		l0 = hi
+		if !solved {
+			hi := sum0PS
+			if hi <= lo {
+				hi = 1
+			}
+			for demand0(hi) > 1 {
+				hi *= 2
+			}
+			for it := 0; it < iters; it++ {
+				mid := 0.5 * (lo + hi)
+				if demand0(mid) > 1 {
+					lo = mid
+				} else {
+					hi = mid
+				}
+			}
+			l0 = hi
+		}
+	}
+	if sess != nil {
+		if trivial {
+			// A slack slot: keep the carried price — it is still the best
+			// guess for the next contended slot.
+			sess.note(0, false, true)
+		} else {
+			sess.l0 = l0
+			sess.haveL0 = true
+			sess.note(outerProbes, warm, false)
+		}
 	}
 
 	// Fix the association at the equilibrium prices, then water-fill.

@@ -23,6 +23,11 @@ func TestSlotStepSteadyStateAllocs(t *testing.T) {
 		// the per-slot steady state is zero.
 		{"proposed-single", false, Options{Scheme: Proposed}, 1},
 		{"proposed-single-dual", false, Options{Scheme: Proposed, UseDualSolver: true}, 1},
+		// Warm-started sessions must not add a single allocation to the
+		// steady-state slot: seeds are written into pooled workspaces and
+		// carried multipliers live in session-owned slices.
+		{"proposed-single-warm", false, Options{Scheme: Proposed, WarmStart: true}, 1},
+		{"proposed-single-dual-warm", false, Options{Scheme: Proposed, UseDualSolver: true, WarmStart: true}, 1},
 		// The greedy channel allocation returns a fresh result per slot
 		// (~17 allocs observed); anything near the pre-rework ~5900 means
 		// per-evaluation scratch is being rebuilt again.

@@ -60,6 +60,11 @@ type ShardSummary struct {
 	// merges these in ascending component order. Per-shard wall time lives
 	// in ShardTiming, not here, so PerShard stays schedule-independent.
 	PSNR stats.Running
+
+	// Warm carries the shard's solver iteration statistics, nil unless
+	// Options.SolveStats was set. The histogram behind the quantiles is a
+	// fixed-size array, so the summary stays O(1) per shard.
+	Warm *WarmStartReport `json:",omitempty"`
 }
 
 // ShardTiming is the per-task nanosecond accounting of one sharded run.
@@ -126,6 +131,11 @@ type ShardedResult struct {
 	// PSNR summarizes the per-user quality distribution streamed through
 	// stats.Running.Merge in ascending component order (N = Users).
 	PSNR stats.Summary
+
+	// Warm folds the shards' solver iteration statistics (counters add,
+	// histograms merge, quantiles recomputed from the merged histogram),
+	// nil unless Options.SolveStats was set.
+	Warm *WarmStartReport `json:",omitempty"`
 
 	// PerShard holds every shard's fixed-size summary, ascending by
 	// component.
@@ -308,6 +318,7 @@ func reduceShard(component int, seed uint64, sub *netmodel.Network, res *Result)
 		MeanExpectedChannels: res.MeanExpectedChannels,
 		GOPs:                 res.GOPs,
 		Slots:                res.Slots,
+		Warm:                 res.Warm,
 	}
 	for j, v := range res.PerUserPSNR {
 		s.SumPSNR += v
@@ -356,6 +367,12 @@ func foldShards(net *netmodel.Network, perShard []ShardSummary) *ShardedResult {
 		gSum += s.MeanExpectedChannels
 		psnrAcc.Merge(&s.PSNR)
 		gains.Merge(&s.Gains)
+		if s.Warm != nil {
+			if out.Warm == nil {
+				out.Warm = &WarmStartReport{}
+			}
+			out.Warm.mergeWarm(s.Warm)
+		}
 	}
 	k := float64(out.Users)
 	out.MeanPSNR = sum / k

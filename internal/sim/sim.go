@@ -103,6 +103,19 @@ type Options struct {
 	// own sensing reports instead of assuming it known (extension; ignored
 	// when TrackBeliefs is set).
 	EstimateUtilization bool
+	// WarmStart seeds each slot's solve from the previous slot's converged
+	// dual state (core.SolverSession): channel occupancy is Markov, so
+	// consecutive slots are strongly correlated and the warm seed converges
+	// in a fraction of the cold iterations. Only the Proposed scheme's
+	// slot-level solves are affected (the greedy channel explorer keeps its
+	// own cold solves), and the repaired allocations are identical to the
+	// cold path's — the default false is bit-identical to not having the
+	// feature at all.
+	WarmStart bool
+	// SolveStats collects per-slot solver iteration statistics (cold or
+	// warm, matching WarmStart) into Result.Warm. Off the allocation-free
+	// fast path; costs one histogram per session.
+	SolveStats bool
 	// Recorder, when non-nil, receives slot-by-slot events for post-hoc
 	// analysis (see internal/trace).
 	Recorder *trace.Recorder
@@ -162,6 +175,11 @@ type Result struct {
 	// DualTrace is the per-iteration price trajectory of the first slot's
 	// distributed solve, when CaptureDualTrace was set.
 	DualTrace [][]float64
+	// Warm reports the per-slot solver iteration statistics, nil unless
+	// SolveStats was set. It is diagnostic metadata: exclude it from
+	// determinism comparisons of allocations/quality (which do not depend
+	// on it).
+	Warm *WarmStartReport `json:",omitempty"`
 	// GOPs is the number of completed GOPs per user.
 	GOPs int
 	// Slots is the number of simulated slots.
@@ -237,6 +255,17 @@ type engine struct {
 	inflate    *core.Allocation
 	chanProb   core.ChannelProblem
 	intoSolver core.IntoSolver // non-nil when solver supports SolveInto
+
+	// Warm-start plumbing: non-nil only when WarmStart or SolveStats is
+	// requested and the scheme's solver supports sessions. The slot solves
+	// and the TrackBound relaxation solves carry separate sessions — they
+	// are different problem families, and seeding one from the other would
+	// thrash both trackers. Sessions are engine-owned and single-goroutine
+	// like everything else here; RunSharded gets per-shard sessions for
+	// free because every shard builds its own engine.
+	warmSolver   core.WarmSolver
+	session      *core.SolverSession
+	relaxSession *core.SolverSession
 
 	dualTrace [][]float64
 	sumG      float64
@@ -336,6 +365,21 @@ func newEngine(net *netmodel.Network, opts Options) (*engine, error) {
 		e.inflate = core.NewAllocation(k)
 	}
 	e.intoSolver, _ = e.solver.(core.IntoSolver)
+	if ws, ok := e.solver.(core.WarmSolver); ok && (opts.WarmStart || opts.SolveStats) {
+		e.warmSolver = ws
+		if opts.WarmStart {
+			e.session = core.NewSolverSession()
+			e.relaxSession = core.NewSolverSession()
+		} else {
+			// Stats without warm starts: record the cold baseline through
+			// seeding-disabled sessions, same instrumentation, same solves.
+			e.session = core.NewColdProbeSession()
+			e.relaxSession = core.NewColdProbeSession()
+		}
+		if opts.SolveStats {
+			e.session.EnableStats()
+		}
+	}
 	return e, nil
 }
 
@@ -400,7 +444,9 @@ func (e *engine) step(slot int) error {
 			}
 			relaxed := e.withG(relaxG)
 			relaxAlloc := e.relaxAlloc
-			if e.intoSolver != nil {
+			if e.warmSolver != nil {
+				err = e.warmSolver.SolveWarmInto(relaxed, relaxAlloc, e.relaxSession)
+			} else if e.intoSolver != nil {
 				err = e.intoSolver.SolveInto(relaxed, relaxAlloc)
 			} else {
 				relaxAlloc, err = e.solver.Solve(relaxed)
@@ -432,7 +478,10 @@ func (e *engine) step(slot int) error {
 			}
 		}
 		withG := e.withG(gVec)
-		if e.intoSolver != nil {
+		if e.warmSolver != nil {
+			alloc = e.alloc
+			err = e.warmSolver.SolveWarmInto(withG, alloc, e.session)
+		} else if e.intoSolver != nil {
 			alloc = e.alloc
 			err = e.intoSolver.SolveInto(withG, alloc)
 		} else {
@@ -675,6 +724,7 @@ func (e *engine) result() *Result {
 		GOPs:        e.progress[0].CompletedGOPs(),
 		Slots:       e.slots,
 		DualTrace:   e.dualTrace,
+		Warm:        e.warmReport(),
 	}
 	sum := 0.0
 	gains := make([]float64, k)

@@ -12,7 +12,8 @@
 # the sim slot step must show >= 50% fewer allocs/op and >= 20% lower
 # ns/op than the baseline.
 #
-# Regression gate: the script exits nonzero when BenchmarkGreedyLazy or any
+# Regression gate: the script exits nonzero when BenchmarkGreedyLazy,
+# BenchmarkDualSolver, BenchmarkEquilibriumSolver, or any
 # BenchmarkSlotStep* row runs more than 10% slower (ns/op) than its
 # baseline entry, so a hot-path regression fails the CI job instead of
 # shipping inside a green artifact. The baseline was re-recorded at the
@@ -93,7 +94,8 @@ END {
     for (i = 1; i <= count; i++) {
         name = order[i]
         if (!((name, "ns") in before) || !((name, "ns") in after)) continue
-        if ((name == "GreedyLazy" || name ~ /^SlotStep/) && \
+        if ((name == "GreedyLazy" || name == "DualSolver" || \
+             name == "EquilibriumSolver" || name ~ /^SlotStep/) && \
             after[name, "ns"] > 1.10 * before[name, "ns"]) {
             printf "bench_hotpath.sh: REGRESSION: %s ns/op %.1f is >10%% above baseline %.1f\n", \
                 name, after[name, "ns"], before[name, "ns"] > "/dev/stderr"

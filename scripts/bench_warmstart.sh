@@ -1,0 +1,97 @@
+#!/usr/bin/env bash
+# Benchmark the cross-slot warm-started dual solves and record the result
+# as BENCH JSON (format documented in EXPERIMENTS.md). Runs the paper's
+# single-FBS scenario through `femtosim -warmstats` for both solvers
+# (price equilibrium and dual subgradient), cold and warm, and emits
+# BENCH_warmstart.json with each configuration's per-slot iteration
+# statistics plus the two gates of the warm-start contract:
+#
+#   * correctness — the warm run's full-precision PSNR must equal the cold
+#     run's bitwise, per solver (the repair step guarantees identical
+#     allocations, so any divergence is a warm-path bug);
+#   * budget — the dual solver's median iterations-per-slot must drop by
+#     at least 2x warm vs cold.
+#
+# Iteration counts are schedule-arithmetic (deterministic per seed), not
+# wall clock, so the numbers are stable on a 1-CPU container; wall-clock
+# claims belong to bench_hotpath.sh's min-of-N benchstat runs.
+#
+# Usage: scripts/bench_warmstart.sh [output.json]
+# Env:   FEMTOCR_WARM_GOPS (default 20) GOP horizon per run
+#        FEMTOCR_WARM_SEED (default 1)  base seed
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_warmstart.json}"
+gops="${FEMTOCR_WARM_GOPS:-20}"
+seed="${FEMTOCR_WARM_SEED:-1}"
+
+bin=$(mktemp -d)
+trap 'rm -rf "$bin"' EXIT
+go build -o "$bin/femtosim" ./cmd/femtosim
+
+stats=""
+for solver_flag in "" "-dual"; do
+    for warm_flag in "" "-warmstart"; do
+        # shellcheck disable=SC2086 # empty flags must expand to nothing
+        line=$("$bin/femtosim" -scenario single -runs 1 -gops "$gops" \
+            -seed "$seed" -warmstats $solver_flag $warm_flag |
+            grep '^WARMSTATS ')
+        echo "$line"
+        stats+="$line"$'\n'
+    done
+done
+
+printf '%s' "$stats" | awk -v out="$out" -v gops="$gops" -v seed="$seed" '
+{
+    n++
+    for (i = 2; i <= NF; i++) {
+        split($i, kv, "=")
+        v[n, kv[1]] = kv[2]
+    }
+    key[v[n, "solver"] "/" v[n, "mode"]] = n
+}
+END {
+    if (n != 4) {
+        print "bench_warmstart.sh: expected 4 WARMSTATS rows, got " n > "/dev/stderr"
+        exit 1
+    }
+    fail = ""
+    split("equilibrium dual", solvers, " ")
+    for (si = 1; si <= 2; si++) {
+        s = solvers[si]
+        c = key[s "/cold"]; w = key[s "/warm"]
+        if (!c || !w) {
+            print "bench_warmstart.sh: missing cold/warm row for " s > "/dev/stderr"
+            exit 1
+        }
+        if (v[w, "psnr"] != v[c, "psnr"])
+            fail = fail "PSNR diverged for " s ": warm=" v[w, "psnr"] " cold=" v[c, "psnr"] "\n"
+        ratio[s] = (v[w, "p50"] > 0) ? v[c, "p50"] / v[w, "p50"] : 0
+    }
+    if (ratio["dual"] < 2)
+        fail = fail sprintf("dual p50 speedup %.2fx below the 2x gate\n", ratio["dual"])
+    printf "{\n" > out
+    printf "  \"benchmark\": \"warmstart-iterations\",\n" > out
+    printf "  \"package\": \"femtocr/cmd/femtosim\",\n" > out
+    printf "  \"scenario\": {\"name\": \"single\", \"gops\": %d, \"seed\": %d},\n", gops, seed > out
+    printf "  \"results\": [\n" > out
+    for (r = 1; r <= n; r++) {
+        printf "    {\"solver\": \"%s\", \"mode\": \"%s\", \"solves\": %d, \"warm_solves\": %d, \"trivial\": %d, \"restarts\": %d, \"total_iters\": %d, \"mean_iters\": %s, \"p50\": %d, \"p90\": %d, \"p99\": %d, \"max\": %d}%s\n", \
+            v[r, "solver"], v[r, "mode"], v[r, "solves"], v[r, "warm_solves"], \
+            v[r, "trivial"], v[r, "restarts"], v[r, "total_iters"], \
+            v[r, "mean_iters"], v[r, "p50"], v[r, "p90"], v[r, "p99"], \
+            v[r, "max"], (r < n ? "," : "") > out
+    }
+    printf "  ],\n" > out
+    printf "  \"p50_speedup\": {\"equilibrium\": %.3f, \"dual\": %.3f},\n", ratio["equilibrium"], ratio["dual"] > out
+    printf "  \"psnr\": %s,\n", v[1, "psnr"] > out
+    printf "  \"psnr_identical_warm_vs_cold\": %s\n", (fail == "" || index(fail, "PSNR") == 0) ? "true" : "false" > out
+    printf "}\n" > out
+    if (fail != "") {
+        printf "bench_warmstart.sh: %s", fail > "/dev/stderr"
+        exit 1
+    }
+}
+'
+echo "wrote $out"

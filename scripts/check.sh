@@ -19,6 +19,9 @@
 #   7. go test -race — all tests under the race detector
 #   8. metro smoke   — a quick-scale generated metro through the sharded
 #                     engine end to end (femtosim -scenario metro)
+#   9. warm smoke    — a warm-started dual run through femtosim must report
+#                     the bitwise-identical full-precision PSNR as the cold
+#                     run (the warm-start correctness contract, end to end)
 #
 # Both -race steps run with GOMAXPROCS=4: the CI container exposes a single
 # CPU (see the 1-CPU caveat the bench scripts record in BENCH_*.json), and
@@ -67,6 +70,18 @@ GOMAXPROCS=4 go test -race ./...
 echo "==> metro smoke (sharded engine end to end through femtosim)"
 go run ./cmd/femtosim -scenario metro -metro-fbs 24 -metro-users 2 \
     -gops 1 -shards 4 >/dev/null
+
+echo "==> warm-start smoke (warm PSNR must equal cold bitwise)"
+warm_psnr=$(go run ./cmd/femtosim -scenario single -dual -warmstart -warmstats \
+    -gops 4 | awk '/^WARMSTATS/ {for (i = 2; i <= NF; i++) {
+        split($i, kv, "="); if (kv[1] == "psnr") print kv[2] }}')
+cold_psnr=$(go run ./cmd/femtosim -scenario single -dual -warmstats \
+    -gops 4 | awk '/^WARMSTATS/ {for (i = 2; i <= NF; i++) {
+        split($i, kv, "="); if (kv[1] == "psnr") print kv[2] }}')
+if [ -z "$warm_psnr" ] || [ "$warm_psnr" != "$cold_psnr" ]; then
+    echo "warm-start smoke: warm PSNR '$warm_psnr' != cold PSNR '$cold_psnr'" >&2
+    exit 1
+fi
 
 if [ -n "${FEMTOCR_FUZZ:-}" ]; then
     echo "==> fuzz smoke (FEMTOCR_FUZZ set)"
